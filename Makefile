@@ -1,0 +1,30 @@
+# Convenience targets for the HSLB reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples reports clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper table/figure and print the saved reports.
+reports: bench
+	@for f in benchmarks/out/*.txt; do echo "=== $$f"; cat $$f; echo; done
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/fmo_fragments.py
+	$(PYTHON) examples/custom_application.py
+	$(PYTHON) examples/solver_tour.py
+	$(PYTHON) examples/job_size_prediction.py
+	$(PYTHON) examples/cesm_high_resolution.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

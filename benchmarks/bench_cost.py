@@ -1,0 +1,16 @@
+"""C1 benchmark: the person/computer-time cost of tuning (§II/§IV)."""
+
+from repro.experiments.cost import run_tuning_cost
+
+
+def test_c1_tuning_cost(benchmark, save_report):
+    result = benchmark.pedantic(run_tuning_cost, rounds=1, iterations=1)
+    save_report("tuning_cost", result.render())
+    # The decision step is where HSLB wins: trial executions vs solver
+    # seconds.  One validation run vs several queued attempts.
+    assert result.manual_submissions >= 3   # "five to ten iterations"-ish
+    assert result.hslb_solver_seconds < 60.0
+    assert result.hslb_tuning_cost < result.manual_tuning_cost
+    assert result.saved_core_hours > 0.0
+    # And the result is at least as good (within noise).
+    assert result.hslb_total_seconds <= result.manual_total_seconds * 1.05

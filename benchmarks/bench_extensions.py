@@ -1,0 +1,24 @@
+"""Extension benchmarks E1/E2: the follow-on work the paper names."""
+
+from repro.experiments.extensions import run_ice_decomposition, run_tasking_tuning
+
+
+def test_e1_ice_decomposition_ml(benchmark, save_report):
+    result = benchmark.pedantic(run_ice_decomposition, rounds=1, iterations=1)
+    save_report("ext_ice_decomposition", result.render())
+    # The companion paper's payoff: learned >= default, close to oracle.
+    for d, m, o in zip(
+        result.default_multipliers, result.ml_multipliers, result.oracle_multipliers
+    ):
+        assert m <= d + 1e-9
+        assert m <= o + 0.08
+    assert result.mean_gain_pct() > 3.0
+
+
+def test_e2_tasking_tuning(benchmark, save_report):
+    result = benchmark.pedantic(run_tasking_tuning, rounds=1, iterations=1)
+    save_report("ext_tasking", result.render())
+    # The MPI-leaning components choose 4x1; tuning never slows the run.
+    assert result.policies["ocn"] == "4x1"
+    assert result.tuned_total <= result.default_total * 1.02
+    assert result.total_gain_pct() > 2.0

@@ -1,0 +1,27 @@
+"""Figure 4 benchmark: predicted scaling of component layouts 1-3 at 1 degree."""
+
+from repro.cesm.layouts import Layout
+from repro.experiments.fig4 import run_fig4
+
+
+def test_fig4_layout_scaling(benchmark, save_report):
+    result = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    save_report("fig4", result.render())
+
+    # "layouts 1 and 2 performed similar, while layout 3 ... the worst."
+    for i in range(len(result.node_counts)):
+        t1 = result.predicted[Layout.HYBRID][i]
+        t2 = result.predicted[Layout.SEQUENTIAL_GROUP][i]
+        t3 = result.predicted[Layout.FULLY_SEQUENTIAL][i]
+        assert t1 <= t2 * 1.02
+        assert abs(t2 - t1) / t1 < 0.25
+        assert t3 > t2
+
+    # "The R^2 between predicted and experimental data for layout (1) is
+    # equal to 1.0" — ours must be extremely close.
+    assert result.r_squared_layout1() > 0.98
+
+    # Scaling curves decrease monotonically with machine size.
+    for layout in Layout:
+        series = result.predicted[layout]
+        assert all(series[i + 1] < series[i] for i in range(len(series) - 1))

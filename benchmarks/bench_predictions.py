@@ -1,0 +1,50 @@
+"""§IV-C prediction benchmarks (P1: job size, P2: component swap)."""
+
+from repro.experiments.predictions import (
+    run_component_swap_prediction,
+    run_job_size_prediction,
+    run_new_hardware_prediction,
+)
+
+
+def test_p1_job_size_prediction(benchmark, save_report):
+    result = benchmark.pedantic(run_job_size_prediction, rounds=1, iterations=1)
+    save_report("predict_job_size", result.render())
+    rec = result.recommendation
+    # The cost-efficient size is strictly smaller than the brute-force
+    # fastest size — the tradeoff §IV-C describes exists.
+    assert rec.cost_efficient_nodes < rec.shortest_time_nodes
+    # The fastest configuration saturates near the top of the sweep.
+    assert rec.shortest_time_nodes >= 2048
+    # Efficiency declines monotonically across the sweep.
+    eff = rec.sweep.efficiency()
+    assert all(eff[i + 1] <= eff[i] + 1e-9 for i in range(len(eff) - 1))
+
+
+def test_p3_new_hardware_prediction(benchmark, save_report):
+    result = benchmark.pedantic(
+        run_new_hardware_prediction, rounds=1, iterations=1
+    )
+    save_report("predict_new_hardware", result.render())
+    speedups = result.speedups()
+    # The new machine is faster everywhere...
+    assert all(s > 1.0 for s in speedups)
+    # ...but far below the 80x compute headline (Amdahl: the serial floor
+    # only moved by the serial speedup), and the gap widens with scale as
+    # the serial floor dominates.
+    assert max(speedups) < 80.0
+    assert speedups[-1] < speedups[0] + 1e-9 or max(speedups) < 25.0
+
+
+def test_p2_component_swap_prediction(benchmark, save_report):
+    result = benchmark.pedantic(
+        run_component_swap_prediction, rounds=1, iterations=1
+    )
+    save_report("predict_component_swap", result.render())
+    # A 2x-more-scalable ocean helps at every machine size...
+    n = len(result.baseline.node_counts)
+    assert all(result.improvement_at(i) >= -1e-9 for i in range(n))
+    # ...but the gain shrinks once the atmosphere side dominates the
+    # makespan (the swap analysis must show *where* rewrites pay off).
+    assert result.improvement_at(0) >= result.improvement_at(n - 1) - 0.02
+    assert max(result.improvement_at(i) for i in range(n)) > 0.03

@@ -1,0 +1,28 @@
+"""Robustness benchmarks R1/R2: the §IV 'weakest part' claim, quantified."""
+
+from repro.experiments.robustness import run_noise_sweep, run_outlier_robustness
+
+
+def test_r1_noise_sweep(benchmark, save_report):
+    result = benchmark.pedantic(run_noise_sweep, rounds=1, iterations=1)
+    save_report("robustness_noise", result.render())
+    regret = result.regret()
+    # Moderate noise (<= 5%) costs essentially nothing — HSLB tolerates the
+    # run-to-run jitter the paper's campaigns actually had.
+    for level, r in zip(result.noise_levels, regret):
+        if level <= 0.05:
+            assert r < 0.05, f"regret {r:.3f} at noise {level}"
+    # Even 20% noise keeps the allocation within ~15% of optimal: the MINLP
+    # decision step degrades gracefully rather than collapsing.
+    assert max(regret) < 0.15
+
+
+def test_r2_outlier_robust_fitting(benchmark, save_report):
+    result = benchmark.pedantic(run_outlier_robustness, rounds=1, iterations=1)
+    save_report("robustness_outliers", result.render())
+    # Robust fitting tracks the true curves better under contamination...
+    assert result.huber_prediction_error <= result.plain_prediction_error + 1e-9
+    assert result.huber_prediction_error < 0.15
+    # ...and never yields a worse allocation than plain least squares by
+    # more than a couple percent.
+    assert result.huber_regret <= result.plain_regret + 0.02

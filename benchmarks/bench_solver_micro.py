@@ -1,0 +1,113 @@
+"""Micro-benchmarks of the MINLP toolkit's hot paths.
+
+Not tied to a paper artifact; these track the substrate's performance so
+regressions in the solver stack (which every experiment depends on) show up
+as benchmark deltas rather than mysteriously slow tables.
+"""
+
+import numpy as np
+
+from repro.cesm.grids import one_degree
+from repro.cesm.layouts import Layout, formulate_layout
+from repro.minlp import Model, solve_minlp_oa
+from repro.minlp.linprog import IncrementalLPSolver, LinearProgram, solve_lp
+from repro.minlp.simplex import solve_lp_simplex
+from repro.perf.fitting import fit_performance_model
+from repro.perf.model import PerformanceModel
+from repro.util.rng import default_rng
+
+_MODELS = {
+    "lnd": PerformanceModel(a=1483.0, d=2.1),
+    "ice": PerformanceModel(a=7600.0, d=11.0),
+    "atm": PerformanceModel(a=27380.0, d=43.0),
+    "ocn": PerformanceModel(a=7550.0, d=45.0),
+}
+
+
+def _random_lp(n=60, m=40, seed=0):
+    rng = default_rng(seed)
+    return LinearProgram(
+        c=rng.normal(size=n),
+        A=rng.normal(size=(m, n)),
+        row_lb=np.full(m, -np.inf),
+        row_ub=rng.uniform(1.0, 5.0, size=m),
+        var_lb=np.zeros(n),
+        var_ub=np.full(n, 10.0),
+    )
+
+
+def test_lp_highs_backend(benchmark):
+    lp = _random_lp()
+    result = benchmark(lambda: solve_lp(lp))
+    assert result.status.value == "optimal"
+
+
+def test_lp_pure_python_simplex(benchmark):
+    lp = _random_lp(n=15, m=10)
+    result = benchmark(lambda: solve_lp_simplex(lp))
+    assert result.status.value == "optimal"
+
+
+def test_incremental_lp_node_resolve(benchmark):
+    """The branch-and-bound inner loop: bound override + resolve."""
+    problem = formulate_layout(_MODELS, 2048, one_degree(), layout=Layout.HYBRID)
+    # Strip nonlinear rows for the LP master skeleton.
+    from repro.minlp.oa import _epigraph_form, _linear_master
+
+    master = _linear_master(_epigraph_form(problem)[0])
+    inc = IncrementalLPSolver(master)
+    sol = benchmark(lambda: inc.solve({"n_ocn": (2.0, 128.0)}))
+    assert sol.status.value == "optimal"
+
+
+def test_layout1_full_solve(benchmark):
+    """End-to-end MINLP solve of the 1-degree layout-1 model at 2048."""
+    problem = formulate_layout(_MODELS, 2048, one_degree(), layout=Layout.HYBRID)
+    sol = benchmark.pedantic(
+        lambda: solve_minlp_oa(problem), rounds=3, iterations=1
+    )
+    assert sol.status.value == "optimal"
+
+
+def test_many_fragment_minlp_stress(benchmark):
+    """Scalability guard: a 24-fragment min-max MINLP at 2048 nodes."""
+    from repro.fmo.molecules import protein_like
+    from repro.fmo.schedulers import hslb_schedule
+
+    system = protein_like(24, default_rng(6))
+
+    def run():
+        schedule, sol = hslb_schedule(system, 2048)
+        return schedule, sol
+
+    schedule, sol = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sol.status.value in ("optimal", "feasible")
+    assert schedule.total_nodes <= 2048
+    assert len(schedule.group_sizes) == 24
+
+
+def test_fitting_throughput(benchmark):
+    truth = PerformanceModel(a=27380.0, b=1e-3, c=1.0, d=43.0)
+    rng = default_rng(1)
+    nodes = np.array([32.0, 64.0, 128.0, 512.0, 2048.0])
+    y = truth.time(nodes) * np.exp(rng.normal(0, 0.02, nodes.size))
+    fit = benchmark(lambda: fit_performance_model(nodes, y, rng=default_rng(2)))
+    assert fit.r_squared > 0.999
+
+
+def test_expression_differentiation(benchmark):
+    """Symbolic gradient of a layout-1-sized constraint system."""
+    m = Model("grad")
+    t = m.var("T", 0, 1e5)
+    n_vars = [m.integer_var(f"n{i}", 1, 4096) for i in range(4)]
+    exprs = [27380.0 / n + 1e-3 * n**1.5 + 43.0 for n in n_vars]
+
+    def differentiate():
+        out = []
+        for e in exprs:
+            for v in ("n0", "n1", "n2", "n3"):
+                out.append(e.diff(v))
+        return out
+
+    grads = benchmark(differentiate)
+    assert len(grads) == 16

@@ -1,0 +1,80 @@
+"""Table III benchmarks: one per block (see DESIGN.md T3-1 .. T3-6).
+
+Each benchmark runs the full HSLB pipeline for its block, prints/persists
+the reproduction table next to the paper's numbers, and asserts the block's
+qualitative shape (who wins, by roughly what factor).
+"""
+
+import pytest
+
+from repro.experiments.table3 import run_table3_block
+
+
+def _run_and_check(benchmark, save_report, key, checks):
+    result = benchmark.pedantic(
+        lambda: run_table3_block(key), rounds=1, iterations=1
+    )
+    save_report(f"table3_{key}", result.render())
+    checks(result)
+    return result
+
+
+def test_table3_1deg_128(benchmark, save_report):
+    def checks(r):
+        # Totals in the paper's neighbourhood; HSLB >= competitive.
+        assert r.hslb.predicted_total == pytest.approx(410.6, rel=0.12)
+        assert r.hslb.actual_total == pytest.approx(425.2, rel=0.12)
+        assert r.hslb.actual_total <= r.manual_total * 1.05
+        assert r.hslb.allocation["atm"] + r.hslb.allocation["ocn"] <= 128
+
+    _run_and_check(benchmark, save_report, "1deg-128", checks)
+
+
+def test_table3_1deg_2048(benchmark, save_report):
+    def checks(r):
+        assert r.hslb.predicted_total == pytest.approx(84.5, rel=0.12)
+        assert r.hslb.actual_total == pytest.approx(86.5, rel=0.12)
+        # The balanced layout uses most of the machine.
+        assert r.hslb.allocation["atm"] + r.hslb.allocation["ocn"] > 1024
+
+    _run_and_check(benchmark, save_report, "1deg-2048", checks)
+
+
+def test_table3_eighth_8192_constrained(benchmark, save_report):
+    def checks(r):
+        assert r.hslb.allocation["ocn"] in (480, 512, 2356, 3136, 4564, 6124)
+        assert r.hslb.predicted_total == pytest.approx(3390.4, rel=0.12)
+        assert r.hslb.actual_total == pytest.approx(3488.8, rel=0.12)
+        # Paper: ~8-10% better than the manual baseline here.
+        assert r.hslb.actual_total < r.manual_total
+
+    _run_and_check(benchmark, save_report, "eighth-8192", checks)
+
+
+def test_table3_eighth_32768_constrained(benchmark, save_report):
+    def checks(r):
+        assert r.hslb.allocation["ocn"] == 19460  # forced by the list
+        assert r.hslb.predicted_total == pytest.approx(1592.6, rel=0.12)
+        assert r.hslb.actual_total == pytest.approx(1612.3, rel=0.12)
+
+    _run_and_check(benchmark, save_report, "eighth-32768", checks)
+
+
+def test_table3_eighth_8192_unconstrained(benchmark, save_report):
+    def checks(r):
+        # Paper: "at 8192 nodes, the optimization is relatively unchanged".
+        assert r.hslb.predicted_total == pytest.approx(3217.8, rel=0.15)
+
+    _run_and_check(benchmark, save_report, "eighth-8192-freeocn", checks)
+
+
+def test_table3_eighth_32768_unconstrained(benchmark, save_report):
+    def checks(r):
+        # The headline: big win once the ocean list is dropped.
+        assert r.hslb.predicted_total < 1450.0   # paper predicted 1129
+        assert r.hslb.actual_total < 1450.0      # paper actual 1256
+        assert r.hslb.allocation["ocn"] not in (
+            480, 512, 2356, 3136, 4564, 6124, 19460
+        )
+
+    _run_and_check(benchmark, save_report, "eighth-32768-freeocn", checks)

@@ -1,0 +1,32 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures; its rendered
+output is both printed (visible with ``pytest -s``) and persisted under
+``benchmarks/out/`` so results survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def save_report(report_dir):
+    """Persist a rendered experiment table under benchmarks/out/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The §IV-B story: unconstraining the ocean node counts at 1/8 degree.
+
+The pre-release CESM1.2 hard-coded a handful of "known good" ocean node
+counts (480, 512, 2356, 3136, 4564, 6124, 19460).  At 32,768 nodes that
+list pins the ocean at 19,460 nodes — far more than it needs — and HSLB can
+only balance around it.  Dropping the list lets the MINLP pick ~10-12k
+ocean nodes and hand the surplus to the atmosphere: the paper reports ~40%
+better predicted and ~25% better actual time; this example regenerates that
+comparison on the simulator (plus the decomposition-risk caveat: arbitrary
+ocean counts may hit untested decompositions and run slower than the fit
+predicts, which is exactly what the paper observed at 11,880 nodes).
+
+Usage:  python examples/cesm_high_resolution.py [total_nodes]
+"""
+
+import sys
+
+from repro.cesm import CESMApplication, eighth_degree
+from repro.core import HSLBOptimizer
+from repro.core.report import allocation_table
+from repro.util.rng import default_rng
+
+CAMPAIGN = [2048, 4096, 8192, 16384, 32768]
+
+
+def main() -> None:
+    total_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 32768
+
+    results = {}
+    for constrained in (True, False):
+        app = CESMApplication(eighth_degree(constrained_ocean=constrained))
+        result = HSLBOptimizer(app).run(
+            CAMPAIGN, total_nodes, default_rng(2014)
+        )
+        label = "constrained" if constrained else "unconstrained"
+        results[label] = result
+        print(
+            allocation_table(
+                result,
+                title=f"1/8-degree @ {total_nodes} nodes — {label} ocean",
+            )
+        )
+        print()
+
+    con = results["constrained"]
+    unc = results["unconstrained"]
+    pred_gain = 100.0 * (1.0 - unc.predicted_total / con.predicted_total)
+    act_gain = 100.0 * (1.0 - unc.actual_total / con.actual_total)
+    print(f"predicted improvement from freeing the ocean: {pred_gain:.1f}%  "
+          f"(paper: ~29% at 32768)")
+    print(f"actual improvement:                           {act_gain:.1f}%  "
+          f"(paper: ~22-25%)")
+    print()
+    print("note the predicted-vs-actual gap on the unconstrained ocean: the")
+    print("fit was built from sweet-spot data, and arbitrary node counts can")
+    print("land on untested decompositions (the paper's 11,880-node lesson).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: balance CESM's components on a 128-node machine with HSLB.
+
+Runs the full four-step pipeline of the paper (§III-F):
+
+1. gather  — benchmark the coupled model at several machine sizes;
+2. fit     — least-squares fit T_j(n) = a/n + b n^c + d per component;
+3. solve   — MINLP for the optimal node allocation (LP/NLP branch-and-bound);
+4. execute — run at the optimal allocation and compare with an emulated
+             human expert doing the traditional manual tuning.
+
+Usage:  python examples/quickstart.py [total_nodes]
+"""
+
+import sys
+
+from repro.cesm import CESMApplication, manual_optimization, one_degree
+from repro.core import HSLBOptimizer
+from repro.core.report import comparison_table, speedup_summary
+from repro.util.rng import default_rng
+
+
+def main() -> None:
+    total_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 128
+    rng = default_rng(2014)
+
+    app = CESMApplication(one_degree())
+
+    # The classical manual procedure: scaling runs, hand-picked candidate
+    # layouts, trial-and-error queue submissions.
+    manual = manual_optimization(app.simulator, total_nodes, rng)
+
+    # HSLB: same benchmark data budget, but the decision step is a MINLP.
+    optimizer = HSLBOptimizer(app)
+    result = optimizer.run(
+        benchmark_node_counts=[32, 64, 128, 256, 512, 1024, 2048],
+        total_nodes=total_nodes,
+        rng=rng,
+    )
+
+    print(
+        comparison_table(
+            manual.allocation,
+            manual.execution,
+            result,
+            title=f"CESM 1-degree @ {total_nodes} nodes — manual vs HSLB",
+        )
+    )
+    summary = speedup_summary(manual.execution, result)
+    print()
+    print(f"manual total:      {summary['manual_total']:.1f} s "
+          f"(cost: {manual.executions_burned} trial executions)")
+    print(f"HSLB predicted:    {summary['hslb_predicted_total']:.1f} s")
+    print(f"HSLB actual:       {summary['hslb_actual_total']:.1f} s")
+    print(f"improvement:       {summary['improvement_pct']:.1f}%")
+    print()
+    stats = result.solution.stats
+    print(f"MINLP solve: {stats.nodes_explored} B&B nodes, "
+          f"{stats.cuts_added} OA cuts, {stats.wall_time:.2f} s")
+    for name, fit in result.fits.items():
+        print(f"  fit {name}: R^2 = {fit.r_squared:.5f}  {fit.model!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim: lets `python setup.py develop` work offline (no wheel pkg)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""repro — HSLB: heuristic static load balancing via MINLP.
+
+A full reproduction of the HSLB line of work:
+
+* *Heuristic static load-balancing algorithm applied to the fragment
+  molecular orbital method* (SC 2012) — the algorithm and its FMO
+  application (:mod:`repro.fmo`);
+* *The Heuristic Static Load-Balancing Algorithm Applied to the Community
+  Earth System Model* (IPDPSW 2014) — the CESM application whose evaluation
+  (Table III, Figures 2-4) this library regenerates (:mod:`repro.cesm`,
+  :mod:`repro.experiments`).
+
+Layered architecture (see DESIGN.md):
+
+* :mod:`repro.minlp` — a from-scratch MINLP toolkit (expression trees with
+  symbolic differentiation, LP/NLP layers, branch-and-bound with SOS1
+  branching, outer approximation) standing in for AMPL + MINOTAUR;
+* :mod:`repro.perf` — the Table II performance-model family and its
+  constrained least-squares fitting;
+* :mod:`repro.core` — the HSLB pipeline (gather -> fit -> solve -> execute);
+* :mod:`repro.cesm` / :mod:`repro.fmo` — application substrates with
+  simulators calibrated to the papers' published timings;
+* :mod:`repro.experiments` — one runner per table/figure plus ablations.
+
+Quickstart::
+
+    from repro.cesm import CESMApplication, one_degree
+    from repro.core import HSLBOptimizer
+    from repro.util.rng import default_rng
+
+    app = CESMApplication(one_degree())
+    result = HSLBOptimizer(app).run(
+        benchmark_node_counts=[32, 64, 128, 512, 2048],
+        total_nodes=128,
+        rng=default_rng(0),
+    )
+    print(result.allocation, result.predicted_total, result.actual_total)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,36 @@
+"""CESM application layer: the coupled climate model HSLB balances.
+
+The real system (CESM1.1.1 on the Blue Gene/P "Intrepid") is replaced by a
+simulator whose observable behaviour — per-component wall-clock seconds as a
+function of allocated nodes — is calibrated to the node-count/time pairs the
+paper publishes in Table III (see DESIGN.md for the substitution argument).
+
+Modules:
+
+* :mod:`repro.cesm.components` — component registry + calibrated ground truth;
+* :mod:`repro.cesm.grids`      — resolutions and admissible node-count sets;
+* :mod:`repro.cesm.layouts`    — the Table I mathematical models (layouts 1–3);
+* :mod:`repro.cesm.simulator`  — the machine: benchmark and execute;
+* :mod:`repro.cesm.app`        — the :class:`repro.core.Application` adapter;
+* :mod:`repro.cesm.manual`     — the "human expert" baseline procedure.
+"""
+
+from repro.cesm.app import CESMApplication
+from repro.cesm.components import COMPONENTS, GroundTruthComponent
+from repro.cesm.grids import CESMConfiguration, eighth_degree, one_degree
+from repro.cesm.layouts import Layout, layout_total_time
+from repro.cesm.manual import manual_optimization
+from repro.cesm.simulator import CESMSimulator
+
+__all__ = [
+    "CESMApplication",
+    "CESMConfiguration",
+    "CESMSimulator",
+    "COMPONENTS",
+    "GroundTruthComponent",
+    "Layout",
+    "eighth_degree",
+    "layout_total_time",
+    "manual_optimization",
+    "one_degree",
+]

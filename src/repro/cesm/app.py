@@ -1,0 +1,115 @@
+"""The :class:`repro.core.Application` adapter for CESM.
+
+Glues the simulator (gather/execute) to the Table I formulations
+(solve) so :class:`repro.core.HSLBOptimizer` can drive the whole pipeline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.cesm.components import COMPONENTS
+from repro.cesm.grids import CESMConfiguration
+from repro.cesm.layouts import (
+    Layout,
+    allocation_from_solution,
+    formulate_layout,
+)
+from repro.cesm.simulator import CESMSimulator
+from repro.core.spec import Allocation, Application, ExecutionResult
+from repro.minlp.problem import Problem
+from repro.minlp.solution import Solution
+from repro.perf.data import BenchmarkSuite
+from repro.perf.model import PerformanceModel
+
+
+class CESMApplication(Application):
+    """CESM as seen by HSLB: benchmark, formulate, execute."""
+
+    def __init__(
+        self,
+        config: CESMConfiguration,
+        *,
+        layout: Layout = Layout.HYBRID,
+        tsync: float | None = None,
+        benchmark_runs_per_count: int = 1,
+        include_minor_components: bool = False,
+        outlier_prob: float = 0.0,
+        outlier_scale: float = 3.0,
+    ) -> None:
+        self.config = config
+        self.layout = layout
+        self.tsync = tsync
+        self.benchmark_runs_per_count = int(benchmark_runs_per_count)
+        self.include_minor_components = bool(include_minor_components)
+        self.simulator = CESMSimulator(
+            config,
+            layout=layout,
+            include_minor=self.include_minor_components,
+            outlier_prob=outlier_prob,
+            outlier_scale=outlier_scale,
+        )
+
+    @property
+    def component_names(self) -> tuple[str, ...]:
+        if self.include_minor_components:
+            from repro.cesm.layouts import MINOR_HOSTS
+
+            minors = tuple(
+                m for m in MINOR_HOSTS if m in self.config.minor_ground_truth
+            )
+            return COMPONENTS + minors
+        return COMPONENTS
+
+    @property
+    def requires_nonconvex_solver(self) -> bool:
+        # The exact Tsync coupling (Table I lines 18-19) is nonconvex.
+        return self.tsync is not None
+
+    def benchmark(
+        self, node_counts: Sequence[int], rng: np.random.Generator
+    ) -> BenchmarkSuite:
+        return self.simulator.benchmark(
+            node_counts, rng, runs_per_count=self.benchmark_runs_per_count
+        )
+
+    def formulate(
+        self, models: Mapping[str, PerformanceModel], total_nodes: int
+    ) -> Problem:
+        minor_models = None
+        if self.include_minor_components:
+            from repro.cesm.layouts import MINOR_HOSTS
+
+            minor_models = {m: models[m] for m in MINOR_HOSTS if m in models}
+        return formulate_layout(
+            models,
+            total_nodes,
+            self.config,
+            layout=self.layout,
+            tsync=self.tsync,
+            minor_models=minor_models,
+        )
+
+    def allocation_from_solution(self, solution: Solution) -> Allocation:
+        return allocation_from_solution(solution)
+
+    def execute(
+        self, allocation: Allocation, rng: np.random.Generator
+    ) -> ExecutionResult:
+        return self.simulator.execute(allocation, rng)
+
+    def predicted_times(
+        self,
+        models: Mapping[str, PerformanceModel],
+        allocation: Allocation,
+    ) -> dict[str, float]:
+        out = super().predicted_times(models, allocation)
+        if self.include_minor_components:
+            from repro.cesm.layouts import MINOR_HOSTS
+
+            for minor, host in MINOR_HOSTS.items():
+                if minor in models:
+                    out[minor] = float(models[minor].time(allocation[host]))
+        return out

@@ -1,0 +1,190 @@
+"""CESM component registry and calibrated ground-truth scaling behaviour.
+
+CESM1.1.1 couples six model components; following the paper (§II) we balance
+the four that dominate runtime — the runoff (RTM), land-ice (CISM), and
+coupler (CPL7) contributions are small and excluded from the models, exactly
+as in the paper.
+
+=========  =======================================  ===========================
+short      full component                           origin
+=========  =======================================  ===========================
+``atm``    CAM   — Community Atmosphere Model       NCAR
+``ocn``    POP   — Parallel Ocean Program           LANL
+``ice``    CICE  — Community Ice Code (sea ice)     LANL
+``lnd``    CLM   — Community Land Model             NCAR
+=========  =======================================  ===========================
+
+Ground truth
+------------
+Each component's "machine" behaviour is a :class:`PerformanceModel` whose
+parameters were reverse-fitted from the node-count/seconds pairs published
+in Table III (derivations in DESIGN.md), plus two realism knobs:
+
+* ``noise`` — multiplicative run-to-run jitter (log-normal sigma).  Sea ice
+  gets the largest value: the paper reports CICE's seven decomposition
+  strategies made its timings noisy enough to motivate a separate
+  machine-learning paper [10].
+* ``decomposition_sensitivity`` — an extra deterministic slowdown applied at
+  node counts *outside* a component's known-good decomposition list.  This
+  reproduces the paper's 1/8° ocean finding: the fit predicted 1129 s at
+  9812 nodes but the actual run at 11880 nodes took 1256 s because "the
+  ocean scaling curve was not captured well during our fit step".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perf.model import PerformanceModel
+from repro.util.validation import check_positive
+
+#: Balanced components, in the paper's Table III row order.
+COMPONENTS: tuple[str, ...] = ("lnd", "ice", "atm", "ocn")
+
+#: Excluded components (small contributions; kept for documentation and the
+#: simulator's optional fine-grained accounting).
+EXCLUDED_COMPONENTS: tuple[str, ...] = ("rtm", "glc", "cpl")
+
+FULL_NAMES: Mapping[str, str] = {
+    "atm": "CAM (Community Atmosphere Model)",
+    "ocn": "POP (Parallel Ocean Program)",
+    "ice": "CICE (Community Ice Code)",
+    "lnd": "CLM (Community Land Model)",
+    "rtm": "RTM (River Transport Model)",
+    "glc": "CISM (Community Ice Sheet Model)",
+    "cpl": "CPL7 (coupler)",
+}
+
+
+@dataclass(frozen=True)
+class GroundTruthComponent:
+    """The simulator-side truth for one component at one resolution."""
+
+    name: str
+    model: PerformanceModel
+    noise: float = 0.02
+    decomposition_sensitivity: float = 0.0
+    sweet_spots: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.name not in FULL_NAMES:
+            raise ValueError(f"unknown CESM component {self.name!r}")
+        check_positive("noise", self.noise, strict=False)
+        check_positive(
+            "decomposition_sensitivity", self.decomposition_sensitivity, strict=False
+        )
+        if self.decomposition_sensitivity > 0 and not self.sweet_spots:
+            raise ValueError(
+                f"{self.name}: decomposition sensitivity needs a sweet-spot list"
+            )
+
+    def decomposition_penalty(self, nodes: int) -> float:
+        """Deterministic slowdown factor (>= 1) at off-sweet-spot counts.
+
+        The draw is keyed on the node count so repeated runs at the same
+        count see the same decomposition (as a real machine would) while
+        different counts land anywhere in ``[1, 1 + sensitivity]``.
+        """
+        if self.decomposition_sensitivity == 0.0 or nodes in self.sweet_spots:
+            return 1.0
+        u = np.random.default_rng(int(nodes) * 2654435761 % 2**32).random()
+        return 1.0 + self.decomposition_sensitivity * u
+
+    def true_time(self, nodes: int) -> float:
+        """Noise-free ground-truth seconds at ``nodes`` (with decomposition)."""
+        return float(self.model.time(nodes)) * self.decomposition_penalty(nodes)
+
+    def sample_time(self, nodes: int, rng: np.random.Generator) -> float:
+        """One observed run: ground truth times log-normal jitter."""
+        jitter = float(np.exp(rng.normal(0.0, self.noise))) if self.noise else 1.0
+        return self.true_time(nodes) * jitter
+
+
+def one_degree_ground_truth() -> dict[str, GroundTruthComponent]:
+    """Calibration for the 1° FV / 1° ocean configuration (Table III top).
+
+    Spot checks against the paper (true_time, no noise):
+      atm(104) ~ 307 s, atm(1664) ~ 61 s, ocn(24) ~ 360 s, lnd(24) ~ 64 s,
+      lnd(384) ~ 6 s, ice(80) ~ 106 s, ice(1280) ~ 17.5 s.
+    """
+    return {
+        "lnd": GroundTruthComponent(
+            "lnd", PerformanceModel(a=1483.0, b=0.0, c=1.0, d=2.1), noise=0.03
+        ),
+        "ice": GroundTruthComponent(
+            "ice",
+            PerformanceModel(a=7600.0, b=2.0e-4, c=1.1, d=11.0),
+            noise=0.08,  # CICE decomposition variety -> noisiest curve (§IV-A)
+        ),
+        "atm": GroundTruthComponent(
+            "atm", PerformanceModel(a=27380.0, b=1.0e-3, c=1.0, d=43.0), noise=0.015
+        ),
+        "ocn": GroundTruthComponent(
+            "ocn", PerformanceModel(a=7550.0, b=0.0, c=1.0, d=45.0), noise=0.02
+        ),
+    }
+
+
+def one_degree_minor_ground_truth() -> dict[str, GroundTruthComponent]:
+    """Calibration for the excluded-by-default minor components at 1°.
+
+    §II: "The coupler and the river models take less time to run compared to
+    the other components, so these components were not included in our HSLB
+    models, but they can be added later for fine tuning the work load
+    balance."  This library implements that extension: RTM rides the land
+    nodes, CPL7 the atmosphere nodes, each costing a few percent of the
+    total.
+    """
+    return {
+        "rtm": GroundTruthComponent(
+            "rtm", PerformanceModel(a=200.0, b=0.0, c=1.0, d=0.3), noise=0.05
+        ),
+        "cpl": GroundTruthComponent(
+            "cpl", PerformanceModel(a=500.0, b=2.0e-3, c=1.0, d=2.0), noise=0.04
+        ),
+    }
+
+
+def eighth_degree_minor_ground_truth() -> dict[str, GroundTruthComponent]:
+    """Minor-component calibration at 1/8° (same ~1-3% share of the total)."""
+    return {
+        "rtm": GroundTruthComponent(
+            "rtm", PerformanceModel(a=6000.0, b=0.0, c=1.0, d=2.0), noise=0.05
+        ),
+        "cpl": GroundTruthComponent(
+            "cpl", PerformanceModel(a=1.5e5, b=0.0, c=1.0, d=10.0), noise=0.04
+        ),
+    }
+
+
+def eighth_degree_ground_truth() -> dict[str, GroundTruthComponent]:
+    """Calibration for the 1/8° HOMME-SE / 1/10° ocean configuration.
+
+    Spot checks against the paper:
+      atm(5836) ~ 2533 s, atm(26644) ~ 787 s, ocn(2356) ~ 3785 s,
+      ocn(6124) ~ 1645 s, ice(5350) ~ 476 s, lnd(486) ~ 149 s,
+      and ocn at off-sweet-spot counts runs up to ~30% slow (the fit-miss
+      the paper observed at 11880 nodes).
+    """
+    ocean_sweet = (480, 512, 2356, 3136, 4564, 6124, 19460)
+    return {
+        "lnd": GroundTruthComponent(
+            "lnd", PerformanceModel(a=65290.0, b=0.0, c=1.0, d=14.8), noise=0.05
+        ),
+        "ice": GroundTruthComponent(
+            "ice", PerformanceModel(a=1.7907e6, b=0.0, c=1.0, d=140.9), noise=0.06
+        ),
+        "atm": GroundTruthComponent(
+            "atm", PerformanceModel(a=1.305e7, b=0.0, c=1.0, d=297.0), noise=0.02
+        ),
+        "ocn": GroundTruthComponent(
+            "ocn",
+            PerformanceModel(a=8.194e6, b=0.0, c=1.0, d=307.0),
+            noise=0.02,
+            decomposition_sensitivity=0.30,
+            sweet_spots=ocean_sweet,
+        ),
+    }

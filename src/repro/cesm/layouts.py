@@ -1,0 +1,193 @@
+"""The Table I mathematical models: CESM component layouts 1–3.
+
+Layout semantics (Figure 1):
+
+1. **HYBRID** (panel 1, the production layout): ocean runs concurrently with
+   everything else; ice and land run concurrently with each other on the
+   atmosphere's processors, then the atmosphere runs after both finish.
+   Makespan: ``max(max(ice, lnd) + atm, ocn)``; node footprint
+   ``n_atm + n_ocn`` with ``n_ice + n_lnd <= n_atm``.
+
+2. **SEQUENTIAL_GROUP** (panel 2): ice, land, atmosphere run back-to-back on
+   one processor group; ocean concurrent on the rest.  Makespan
+   ``max(ice + lnd + atm, ocn)``; each of ice/lnd/atm may use up to
+   ``N - n_ocn`` nodes.
+
+3. **FULLY_SEQUENTIAL** (panel 3): everything back-to-back across all
+   processors.  Makespan ``ice + lnd + atm + ocn``; each component may use up
+   to ``N`` nodes.
+
+The ``Tsync`` tolerance of Table I lines 18–19 couples the ice and land
+times: ``|T_l(n_l) - T_i(n_i)| <= Tsync``.  This is a *difference of convex*
+functions, i.e. genuinely nonconvex — outer approximation would generate
+invalid cuts for it.  The formulation states it exactly, and applications
+flag such models (``requires_nonconvex_solver``) so the HSLB pipeline
+automatically routes them to NLP-based branch-and-bound.  With
+``tsync=None`` (the default, and the configuration every Table III number
+uses) the model stays convex and OA applies.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping
+
+from repro.cesm.components import COMPONENTS
+from repro.cesm.grids import CESMConfiguration
+from repro.core.builder import AllocationModelBuilder
+from repro.core.spec import Allocation
+from repro.minlp.problem import Problem
+from repro.minlp.solution import Solution
+from repro.perf.model import PerformanceModel
+
+
+class Layout(enum.Enum):
+    """The three component layouts of Figure 1."""
+
+    HYBRID = 1
+    SEQUENTIAL_GROUP = 2
+    FULLY_SEQUENTIAL = 3
+
+
+#: Which balanced component hosts each minor component's nodes (§II: "The
+#: river model is typically run on the same processors as the CLM model and
+#: the coupler is run on the same processors as the atmosphere").
+MINOR_HOSTS: Mapping[str, str] = {"rtm": "lnd", "cpl": "atm"}
+
+
+def layout_total_time(layout: Layout, times: Mapping[str, float]) -> float:
+    """Makespan of realized component ``times`` under ``layout``.
+
+    This is the execution-side mirror of the Table I objective rows (13, 21,
+    26) — the simulator and the manual baseline both use it.  When the
+    fine-tuning extension supplies ``rtm``/``cpl`` entries, they run
+    sequentially on their host component's nodes (rtm after lnd, cpl after
+    atm) and extend the corresponding side of the makespan.
+    """
+    ice = times["ice"]
+    lnd = times["lnd"] + times.get("rtm", 0.0)
+    atm = times["atm"] + times.get("cpl", 0.0)
+    ocn = times["ocn"]
+    if layout is Layout.HYBRID:
+        return max(max(ice, lnd) + atm, ocn)
+    if layout is Layout.SEQUENTIAL_GROUP:
+        return max(ice + lnd + atm, ocn)
+    return ice + lnd + atm + ocn
+
+
+def formulate_layout(
+    models: Mapping[str, PerformanceModel],
+    total_nodes: int,
+    config: CESMConfiguration,
+    *,
+    layout: Layout = Layout.HYBRID,
+    tsync: float | None = None,
+    sos_encoding: str | Mapping[str, str] = "run",
+    minor_models: Mapping[str, PerformanceModel] | None = None,
+) -> Problem:
+    """Build the Table I MINLP for ``layout`` over fitted ``models``.
+
+    ``tsync`` enables the ice/land synchronization tolerance (seconds);
+    ``None`` disables it, matching the paper's observation that the extra
+    constraint "may actually result in reduced performance".
+
+    ``sos_encoding`` picks the discrete-set formulation: ``"run"`` (the
+    compressed default) or ``"value"`` (the paper-literal one-binary-per-
+    count of Table I lines 29–31; used by the SOS-branching ablation).  A
+    per-component mapping like ``{"ocn": "value"}`` is also accepted.
+
+    ``minor_models`` enables the fine-tuning extension: fitted RTM/CPL7
+    curves, evaluated at their host component's node count (rtm on lnd's
+    nodes, cpl on atm's), extend the makespan expressions.
+    """
+    missing = set(COMPONENTS) - set(models)
+    if missing:
+        raise ValueError(f"missing fitted models for {sorted(missing)}")
+    if total_nodes < 2:
+        raise ValueError(f"total_nodes must be >= 2, got {total_nodes}")
+    if tsync is not None and tsync < 0:
+        raise ValueError(f"tsync must be nonnegative, got {tsync}")
+
+    b = AllocationModelBuilder(f"cesm-{config.name}-layout{layout.value}", total_nodes)
+    n = {}
+    for comp in COMPONENTS:
+        allowed = None
+        if comp == "atm":
+            allowed = config.atm_allowed
+        elif comp == "ocn":
+            allowed = config.ocean_allowed
+        n[comp] = b.add_component(
+            comp,
+            models[comp],
+            min_nodes=config.component_min_nodes(comp),
+            max_nodes=total_nodes,
+            allowed=allowed,
+            encoding=(
+                sos_encoding
+                if isinstance(sos_encoding, str)
+                else sos_encoding.get(comp, "run")
+            ),
+        )
+
+    t_ub = b.time_upper_bound()
+    m = b.model
+    T = m.var("T", lb=0.0, ub=t_ub)
+    t_ice = b.time_expr("ice")
+    t_lnd = b.time_expr("lnd")
+    t_atm = b.time_expr("atm")
+    t_ocn = b.time_expr("ocn")
+    if minor_models:
+        unknown = set(minor_models) - set(MINOR_HOSTS)
+        if unknown:
+            raise ValueError(f"unknown minor components {sorted(unknown)}")
+        # The minors ride their hosts' nodes sequentially.
+        if "rtm" in minor_models:
+            t_lnd = t_lnd + minor_models["rtm"].expression(n["lnd"])
+        if "cpl" in minor_models:
+            t_atm = t_atm + minor_models["cpl"].expression(n["atm"])
+
+    if layout is Layout.HYBRID:
+        T_icelnd = m.var("T_icelnd", lb=0.0, ub=t_ub)
+        m.add(T_icelnd >= t_ice, "icelnd_ge_ice")          # Table I line 15
+        m.add(T_icelnd >= t_lnd, "icelnd_ge_lnd")          # line 16
+        if tsync is not None:
+            # Lines 18-19, stated exactly.  Nonconvex: solve with NLP-BB.
+            m.add(t_lnd - t_ice <= tsync, "tsync_upper")
+            m.add(t_ice - t_lnd <= tsync, "tsync_lower")
+        m.add(T >= T_icelnd + t_atm, "makespan_atm_side")   # line 17
+        m.add(T >= t_ocn, "makespan_ocn_side")              # line 17b
+        m.add(n["atm"] + n["ocn"] <= total_nodes, "nodes_atm_ocn")  # line 20
+        m.add(n["ice"] + n["lnd"] <= n["atm"], "nodes_ice_lnd")     # line 21
+    elif layout is Layout.SEQUENTIAL_GROUP:
+        m.add(T >= t_ice + t_lnd + t_atm, "makespan_group")  # line 22
+        m.add(T >= t_ocn, "makespan_ocn_side")               # line 23
+        for comp in ("lnd", "ice", "atm"):                   # lines 24-26(paper 23-25)
+            m.add(n[comp] + n["ocn"] <= total_nodes, f"nodes_{comp}")
+    else:  # FULLY_SEQUENTIAL
+        m.add(T >= t_ice + t_lnd + t_atm + t_ocn, "makespan_all")  # line 27
+        # Each component may span the whole machine (line 28); already
+        # enforced by the variable upper bounds set to total_nodes.
+
+    m.minimize(T)
+    return b.build()
+
+
+def allocation_from_solution(solution: Solution) -> Allocation:
+    """Read the integer node allocation back out of a MINLP solution."""
+    nodes = {}
+    for comp in COMPONENTS:
+        key = f"n_{comp}"
+        if key not in solution.values:
+            raise KeyError(f"solution has no variable {key!r}")
+        nodes[comp] = int(round(solution.values[key]))
+    return Allocation(nodes)
+
+
+def footprint(layout: Layout, allocation: Allocation, total_nodes: int) -> int:
+    """Machine nodes actually occupied by ``allocation`` under ``layout``."""
+    if layout is Layout.HYBRID:
+        return allocation["atm"] + allocation["ocn"]
+    if layout is Layout.SEQUENTIAL_GROUP:
+        group = max(allocation["ice"], allocation["lnd"], allocation["atm"])
+        return group + allocation["ocn"]
+    return max(allocation[c] for c in COMPONENTS)

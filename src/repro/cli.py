@@ -1,0 +1,288 @@
+"""Command-line front end: ``hslb`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``hslb optimize``   — run the HSLB pipeline on a CESM configuration and
+  print the Table-III-style allocation report;
+* ``hslb fmo``        — run HSLB and the baselines on a synthetic FMO system;
+* ``hslb experiment`` — run any registered paper experiment by id;
+* ``hslb list``       — list available experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.util.rng import default_rng
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hslb",
+        description=(
+            "Heuristic static load balancing via MINLP — reproduction of the "
+            "HSLB papers (FMO, SC 2012; CESM, IPDPSW 2014)."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=None, help="RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    opt = sub.add_parser("optimize", help="run HSLB on a CESM configuration")
+    opt.add_argument(
+        "--resolution",
+        choices=("1deg", "eighth"),
+        default="1deg",
+        help="CESM configuration",
+    )
+    opt.add_argument("--nodes", type=int, required=True, help="machine size")
+    opt.add_argument(
+        "--layout", type=int, choices=(1, 2, 3), default=1, help="Figure 1 layout"
+    )
+    opt.add_argument(
+        "--free-ocean",
+        action="store_true",
+        help="drop the hard-coded ocean node-count list (1/8 degree only)",
+    )
+    opt.add_argument(
+        "--tsync",
+        type=float,
+        default=None,
+        help="ice/land synchronization tolerance in seconds (default: off)",
+    )
+    opt.add_argument(
+        "--benchmarks",
+        type=int,
+        nargs="+",
+        default=None,
+        help="total node counts for the gather step",
+    )
+    opt.add_argument(
+        "--auto-campaign",
+        action="store_true",
+        help="plan the gather node counts per §III-C (memory floor to "
+        "machine cap, geometric spacing) instead of using the defaults",
+    )
+    opt.add_argument(
+        "--compare-manual",
+        action="store_true",
+        help="also run the emulated manual expert and compare",
+    )
+    opt.add_argument(
+        "--save-benchmarks",
+        metavar="FILE",
+        default=None,
+        help="persist the gather campaign's timings as JSON",
+    )
+    opt.add_argument(
+        "--load-benchmarks",
+        metavar="FILE",
+        default=None,
+        help="skip the gather step and reuse a saved campaign (§III-F)",
+    )
+
+    fmo = sub.add_parser("fmo", help="run HSLB and baselines on an FMO system")
+    fmo.add_argument("--fragments", type=int, default=12)
+    fmo.add_argument("--nodes", type=int, default=256)
+    fmo.add_argument(
+        "--system",
+        choices=("protein", "water"),
+        default="protein",
+        help="synthetic molecular system kind",
+    )
+
+    exp = sub.add_parser("experiment", help="run a registered paper experiment")
+    exp.add_argument("name", help="experiment id (see `hslb list`)")
+
+    exp_ampl = sub.add_parser(
+        "export", help="emit the allocation MINLP as an AMPL model"
+    )
+    exp_ampl.add_argument(
+        "--resolution", choices=("1deg", "eighth"), default="1deg"
+    )
+    exp_ampl.add_argument("--nodes", type=int, required=True)
+    exp_ampl.add_argument(
+        "--layout", type=int, choices=(1, 2, 3), default=1
+    )
+    exp_ampl.add_argument(
+        "-o", "--output", default=None, help="output file (default: stdout)"
+    )
+
+    sub.add_parser("list", help="list registered experiments")
+    return parser
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.cesm.app import CESMApplication
+    from repro.cesm.grids import eighth_degree, one_degree
+    from repro.cesm.layouts import Layout
+    from repro.cesm.manual import manual_optimization
+    from repro.core.hslb import HSLBOptimizer
+    from repro.core.report import allocation_table, comparison_table, speedup_summary
+    from repro.experiments.paper_data import BENCHMARK_CAMPAIGN
+
+    if args.resolution == "1deg":
+        if args.free_ocean:
+            print("--free-ocean only applies to the 1/8-degree setup", file=sys.stderr)
+            return 2
+        config = one_degree()
+    else:
+        config = eighth_degree(constrained_ocean=not args.free_ocean)
+    layout = Layout(args.layout)
+    app = CESMApplication(config, layout=layout, tsync=args.tsync)
+    if args.auto_campaign:
+        from repro.cesm.campaign import plan_campaign
+
+        cap = max(args.nodes * 4, args.nodes + 1)
+        bench = list(plan_campaign(config, max_nodes=min(cap, config.machine_nodes)))
+        print(f"planned gather campaign: {bench}\n")
+    else:
+        bench = args.benchmarks or list(BENCHMARK_CAMPAIGN[args.resolution])
+    rng = default_rng(args.seed)
+
+    optimizer = HSLBOptimizer(app)
+    if args.load_benchmarks:
+        from repro.perf.io import load_suite
+
+        suite = load_suite(args.load_benchmarks)
+    else:
+        suite = optimizer.gather(bench, rng)
+    if args.save_benchmarks:
+        from repro.perf.io import save_suite
+
+        save_suite(suite, args.save_benchmarks)
+        print(f"benchmark campaign saved to {args.save_benchmarks}\n")
+    fits = optimizer.fit(suite, rng)
+    result = optimizer.run_from_fits(fits, args.nodes, rng)
+    if args.compare_manual and layout is Layout.HYBRID:
+        manual = manual_optimization(app.simulator, args.nodes, rng)
+        print(
+            comparison_table(
+                manual.allocation,
+                manual.execution,
+                result,
+                title=f"{config.name} @ {args.nodes} nodes (layout {args.layout})",
+            )
+        )
+        summary = speedup_summary(manual.execution, result)
+        print(
+            f"\nHSLB improvement over manual: {summary.get('improvement_pct', 0.0):.1f}% "
+            f"(manual burned {manual.executions_burned} trial executions)"
+        )
+    else:
+        print(
+            allocation_table(
+                result,
+                title=f"{config.name} @ {args.nodes} nodes (layout {args.layout})",
+            )
+        )
+    stats = result.solution.stats
+    print(
+        f"\nsolver: {result.solution.status.value}, "
+        f"{stats.nodes_explored} B&B nodes, {stats.nlp_solves} NLP solves, "
+        f"{stats.cuts_added} OA cuts, {stats.wall_time:.2f}s"
+    )
+    return 0
+
+
+def _cmd_fmo(args: argparse.Namespace) -> int:
+    from repro.fmo.molecules import protein_like, water_cluster
+    from repro.fmo.schedulers import (
+        greedy_dynamic_schedule,
+        hslb_schedule,
+        uniform_static_schedule,
+    )
+    from repro.fmo.simulator import FMOSimulator
+    from repro.util.tables import format_table
+
+    rng = default_rng(args.seed)
+    system = (
+        protein_like(args.fragments, rng)
+        if args.system == "protein"
+        else water_cluster(args.fragments, rng)
+    )
+    sim = FMOSimulator(system)
+    hs, sol = hslb_schedule(system, args.nodes)
+    rows = []
+    for sched in (
+        hs,
+        greedy_dynamic_schedule(system, args.nodes, max(2, args.fragments // 3)),
+        uniform_static_schedule(system, args.nodes, args.fragments),
+    ):
+        run = sim.execute(sched, default_rng(args.seed))
+        rows.append([sched.label, run.makespan, run.load_imbalance])
+    print(
+        format_table(
+            ["scheduler", "makespan s", "load imbalance"],
+            rows,
+            title=f"{system.name} on {args.nodes} nodes",
+        )
+    )
+    print(f"\nHSLB group sizes: {hs.group_sizes} (predicted {sol.objective:.2f}s)")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import run_experiment
+
+    kwargs = {} if args.seed is None else {"seed": args.seed}
+    try:
+        result = run_experiment(args.name, **kwargs)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(result.render())
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    """Benchmark, fit, and emit the Table-I MINLP as AMPL (the paper's
+    production artifact, §V: 'The AMPL code in HSLB is executed remotely via
+    Python script on NEOS server')."""
+    from repro.cesm.app import CESMApplication
+    from repro.cesm.grids import eighth_degree, one_degree
+    from repro.cesm.layouts import Layout
+    from repro.core.hslb import HSLBOptimizer
+    from repro.experiments.paper_data import BENCHMARK_CAMPAIGN
+    from repro.minlp.ampl_export import problem_to_ampl
+
+    config = one_degree() if args.resolution == "1deg" else eighth_degree()
+    app = CESMApplication(config, layout=Layout(args.layout))
+    opt = HSLBOptimizer(app)
+    rng = default_rng(args.seed)
+    suite = opt.gather(BENCHMARK_CAMPAIGN[args.resolution], rng)
+    fits = opt.fit(suite, rng)
+    problem = app.formulate({k: f.model for k, f in fits.items()}, args.nodes)
+    text = problem_to_ampl(problem)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"AMPL model written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_list() -> int:
+    from repro.experiments import EXPERIMENTS
+
+    for name in sorted(EXPERIMENTS):
+        print(name)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "optimize":
+        return _cmd_optimize(args)
+    if args.command == "fmo":
+        return _cmd_fmo(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "export":
+        return _cmd_export(args)
+    return _cmd_list()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

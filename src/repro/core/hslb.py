@@ -1,0 +1,219 @@
+"""The HSLB pipeline: gather -> fit -> solve -> execute (§III-F).
+
+:class:`HSLBOptimizer` orchestrates the four steps against any
+:class:`repro.core.spec.Application`.  Each step is also callable on its own
+so experiments can reuse benchmark data (the paper: "the data gathering step
+can be avoided altogether if reliable benchmarks are already available").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.spec import Allocation, Application, ExecutionResult
+from repro.minlp.bnb import BnBOptions
+from repro.minlp.nlpbb import solve_minlp_nlpbb
+from repro.minlp.oa import solve_minlp_oa
+from repro.minlp.problem import Problem
+from repro.minlp.solution import Solution
+from repro.perf.data import BenchmarkSuite
+from repro.perf.fitting import FitResult, fit_suite
+from repro.perf.model import PerformanceModel
+from repro.util.rng import default_rng
+
+
+@dataclass
+class HSLBConfig:
+    """Pipeline knobs.
+
+    ``convex_fit`` keeps fitted exponents >= 1 so the MINLP is certifiably
+    convex and the OA solver returns the global optimum (§III-E).
+    ``algorithm`` may be ``"oa"`` (LP/NLP branch-and-bound, the paper's
+    solver) or ``"nlpbb"`` (NLP-based B&B fallback for nonconvex models).
+    """
+
+    convex_fit: bool = True
+    fit_multistart: int = 5
+    fit_loss: str = "linear"  # "huber"/"soft_l1" shrug off outlier runs
+    algorithm: str = "oa"
+    bnb: BnBOptions = field(default_factory=BnBOptions)
+    nlp_multistart: int = 1
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("oa", "nlpbb"):
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        if self.fit_loss not in ("linear", "huber", "soft_l1"):
+            raise ValueError(f"unknown fit loss {self.fit_loss!r}")
+
+
+@dataclass
+class HSLBResult:
+    """Everything Table III reports for one HSLB run."""
+
+    total_nodes: int
+    allocation: Allocation
+    predicted_times: dict[str, float]
+    predicted_total: float
+    fits: dict[str, FitResult]
+    solution: Solution
+    execution: ExecutionResult | None = None
+
+    @property
+    def actual_times(self) -> dict[str, float] | None:
+        return self.execution.component_times if self.execution else None
+
+    @property
+    def actual_total(self) -> float | None:
+        return self.execution.total_time if self.execution else None
+
+    @property
+    def prediction_error(self) -> float | None:
+        """Relative |predicted - actual| / actual of the total time."""
+        if self.execution is None or self.execution.total_time == 0:
+            return None
+        return abs(self.predicted_total - self.execution.total_time) / (
+            self.execution.total_time
+        )
+
+
+class HSLBOptimizer:
+    """Run the HSLB algorithm against an application adapter."""
+
+    def __init__(self, application: Application, config: HSLBConfig | None = None) -> None:
+        self.app = application
+        self.config = config or HSLBConfig()
+
+    # -- step 1: gather -----------------------------------------------------
+
+    def gather(
+        self,
+        node_counts: Sequence[int],
+        rng: np.random.Generator | None = None,
+    ) -> BenchmarkSuite:
+        """Benchmark the application at each total node count.
+
+        §III-C guidance is encoded as validation: at least two counts are
+        required, and fewer than four earns a warning in the suite metadata
+        (the caller can still proceed — small campaigns are legitimate for
+        cheap configurations).
+        """
+        if len(node_counts) < 2:
+            raise ValueError("need at least two benchmark node counts")
+        rng = rng or default_rng()
+        return self.app.benchmark(sorted(set(int(n) for n in node_counts)), rng)
+
+    # -- step 2: fit --------------------------------------------------------
+
+    def fit(
+        self,
+        suite: BenchmarkSuite,
+        rng: np.random.Generator | None = None,
+    ) -> dict[str, FitResult]:
+        """Fit each component's performance function (Table II)."""
+        missing = set(self.app.component_names) - set(suite.components)
+        if missing:
+            raise ValueError(f"benchmark suite missing components: {sorted(missing)}")
+        return fit_suite(
+            suite,
+            convex=self.config.convex_fit,
+            multistart=self.config.fit_multistart,
+            rng=rng or default_rng(),
+            loss=self.config.fit_loss,
+        )
+
+    # -- step 3: solve ------------------------------------------------------
+
+    def solve(
+        self,
+        fits: Mapping[str, FitResult] | Mapping[str, PerformanceModel],
+        total_nodes: int,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[Allocation, Solution]:
+        """Solve the allocation MINLP for a machine of ``total_nodes``."""
+        models = {
+            name: (f.model if isinstance(f, FitResult) else f)
+            for name, f in fits.items()
+        }
+        problem = self.app.formulate(models, int(total_nodes))
+        solution = self._solve_problem(problem, rng)
+        solution.require_ok()
+        return self.app.allocation_from_solution(solution), solution
+
+    def _solve_problem(
+        self, problem: Problem, rng: np.random.Generator | None
+    ) -> Solution:
+        if self.app.requires_nonconvex_solver:
+            # OA cuts are invalid on nonconvex models; override silently-safe.
+            return solve_minlp_nlpbb(
+                problem,
+                self.config.bnb,
+                multistart=max(self.config.nlp_multistart, 3),
+                rng=rng,
+            )
+        if self.config.algorithm == "oa":
+            return solve_minlp_oa(
+                problem,
+                self.config.bnb,
+                nlp_multistart=self.config.nlp_multistart,
+                rng=rng,
+            )
+        return solve_minlp_nlpbb(
+            problem,
+            self.config.bnb,
+            multistart=self.config.nlp_multistart,
+            rng=rng,
+        )
+
+    # -- step 4: execute ------------------------------------------------------
+
+    def execute(
+        self,
+        allocation: Allocation,
+        rng: np.random.Generator | None = None,
+    ) -> ExecutionResult:
+        """Run the application at the chosen allocation."""
+        return self.app.execute(allocation, rng or default_rng())
+
+    # -- the whole pipeline --------------------------------------------------
+
+    def run(
+        self,
+        benchmark_node_counts: Sequence[int],
+        total_nodes: int,
+        rng: np.random.Generator | None = None,
+        *,
+        execute: bool = True,
+    ) -> HSLBResult:
+        """Gather, fit, solve, and (optionally) execute in one call."""
+        rng = rng or default_rng()
+        suite = self.gather(benchmark_node_counts, rng)
+        fits = self.fit(suite, rng)
+        return self.run_from_fits(fits, total_nodes, rng, execute=execute)
+
+    def run_from_fits(
+        self,
+        fits: Mapping[str, FitResult],
+        total_nodes: int,
+        rng: np.random.Generator | None = None,
+        *,
+        execute: bool = True,
+    ) -> HSLBResult:
+        """Steps 3–4 when benchmark data/fits already exist."""
+        rng = rng or default_rng()
+        allocation, solution = self.solve(fits, total_nodes, rng)
+        models = {name: f.model for name, f in fits.items()}
+        predicted = self.app.predicted_times(models, allocation)
+        result = HSLBResult(
+            total_nodes=int(total_nodes),
+            allocation=allocation,
+            predicted_times=predicted,
+            predicted_total=float(solution.objective),
+            fits=dict(fits),
+            solution=solution,
+        )
+        if execute:
+            result.execution = self.execute(allocation, rng)
+        return result

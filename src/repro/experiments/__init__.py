@@ -1,0 +1,12 @@
+"""Experiment runners: one per table/figure of the paper, plus ablations.
+
+Every runner returns a structured result object with a ``render()`` method
+that prints the same rows/series the paper reports, side by side with the
+paper's published numbers where applicable.  The pytest-benchmark harness in
+``benchmarks/`` wraps these runners one-to-one (see DESIGN.md's
+per-experiment index).
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,133 @@
+"""C1 — the cost of tuning: manual trial-and-error vs HSLB.
+
+§II: the manual process "may involve trial and error ... This can be an
+expensive process and can consume a significant amount of both person and
+computer time, especially at high resolutions."  §IV: "five to ten
+iterations which involves building the model, submitting to a queue, and
+waiting."
+
+This experiment accounts for that cost in core-hours and queue round-trips:
+
+* both approaches pay for the same scaling campaign (the paper notes the
+  manual procedure "has a similar first step");
+* the manual expert then burns one full execution per candidate layout;
+* HSLB burns solver seconds (a single core) plus one validation execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cesm.app import CESMApplication
+from repro.cesm.grids import CORES_PER_NODE, one_degree
+from repro.cesm.manual import manual_optimization
+from repro.core.hslb import HSLBOptimizer
+from repro.experiments.paper_data import BENCHMARK_CAMPAIGN
+from repro.util.rng import default_rng
+from repro.util.tables import format_table
+
+
+@dataclass
+class TuningCostResult:
+    """Core-hours and queue submissions spent by each approach."""
+
+    total_nodes: int
+    campaign_core_hours: float
+    manual_trial_core_hours: float
+    manual_submissions: int
+    manual_total_seconds: float
+    hslb_solver_seconds: float
+    hslb_validation_core_hours: float
+    hslb_total_seconds: float
+
+    @property
+    def manual_tuning_cost(self) -> float:
+        return self.campaign_core_hours + self.manual_trial_core_hours
+
+    @property
+    def hslb_tuning_cost(self) -> float:
+        return self.campaign_core_hours + self.hslb_validation_core_hours
+
+    @property
+    def saved_core_hours(self) -> float:
+        return self.manual_tuning_cost - self.hslb_tuning_cost
+
+    def render(self) -> str:
+        rows = [
+            [
+                "manual",
+                self.campaign_core_hours,
+                self.manual_trial_core_hours,
+                self.manual_submissions,
+                self.manual_total_seconds,
+            ],
+            [
+                "HSLB",
+                self.campaign_core_hours,
+                self.hslb_validation_core_hours,
+                1,
+                self.hslb_total_seconds,
+            ],
+        ]
+        table = format_table(
+            [
+                "approach",
+                "campaign core-h",
+                "tuning core-h",
+                "queue submissions",
+                "resulting total s",
+            ],
+            rows,
+            title=f"C1: cost of tuning (1-degree @ {self.total_nodes} nodes)",
+            float_fmt=".1f",
+        )
+        return table + (
+            f"\nHSLB solver time: {self.hslb_solver_seconds:.2f} s on one core; "
+            f"tuning core-hours saved: {self.saved_core_hours:.1f}"
+        )
+
+
+def _core_hours(nodes: int, seconds: float) -> float:
+    return nodes * CORES_PER_NODE * seconds / 3600.0
+
+
+def run_tuning_cost(*, total_nodes: int = 128, seed: int = 2014) -> TuningCostResult:
+    app = CESMApplication(one_degree())
+    rng = default_rng(seed)
+    campaign = BENCHMARK_CAMPAIGN["1deg"]
+
+    # Shared first step: the scaling campaign.
+    opt = HSLBOptimizer(app)
+    suite = opt.gather(campaign, rng)
+    campaign_core_hours = 0.0
+    # Each campaign run occupies its machine size for roughly the observed
+    # makespan; approximate with the slowest component at that size.
+    for total in campaign:
+        split = app.simulator.default_split(total)
+        worst = max(
+            app.simulator.true_component_time(comp, split[comp])
+            for comp in split.components
+        )
+        campaign_core_hours += _core_hours(total, worst)
+
+    # Manual: trial executions.
+    manual = manual_optimization(app.simulator, total_nodes, default_rng(seed + 1))
+    manual_trial_core_hours = manual.executions_burned * _core_hours(
+        total_nodes, manual.execution.total_time
+    )
+
+    # HSLB: fit + solve (single core) + one validation run.
+    fits = opt.fit(suite, rng)
+    result = opt.run_from_fits(fits, total_nodes, rng)
+    validation_core_hours = _core_hours(total_nodes, result.actual_total)
+
+    return TuningCostResult(
+        total_nodes=total_nodes,
+        campaign_core_hours=campaign_core_hours,
+        manual_trial_core_hours=manual_trial_core_hours,
+        manual_submissions=manual.executions_burned,
+        manual_total_seconds=manual.execution.total_time,
+        hslb_solver_seconds=result.solution.stats.wall_time,
+        hslb_validation_core_hours=validation_core_hours,
+        hslb_total_seconds=result.actual_total,
+    )

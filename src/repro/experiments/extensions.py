@@ -1,0 +1,143 @@
+"""Extension experiments: the follow-on work the paper names.
+
+* E1 — ML sea-ice decompositions (the companion paper [10]): default policy
+  vs learned selector vs oracle across node counts;
+* E2 — MPI/OpenMP tasking granularity (§II/§III-C): per-component optimal
+  tasking and its effect on the balanced 1° makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cesm.app import CESMApplication
+from repro.cesm.components import one_degree_ground_truth
+from repro.cesm.grids import one_degree
+from repro.cesm.ice_decomp import (
+    DecompositionSelector,
+    collect_training_data,
+    default_decomposition,
+    oracle_best,
+    true_multiplier,
+)
+from repro.cesm.tasking import best_tasking, tasking_speedup
+from repro.core.hslb import HSLBOptimizer
+from repro.experiments.paper_data import BENCHMARK_CAMPAIGN
+from repro.util.rng import default_rng
+from repro.util.tables import format_table
+
+
+@dataclass
+class IceDecompResult:
+    """E1: ice slowdown multiplier by policy across node counts."""
+
+    node_counts: tuple[int, ...]
+    default_multipliers: list[float]
+    ml_multipliers: list[float]
+    oracle_multipliers: list[float]
+
+    def mean_gain_pct(self) -> float:
+        d = np.mean(self.default_multipliers)
+        m = np.mean(self.ml_multipliers)
+        return 100.0 * (1.0 - m / d)
+
+    def render(self) -> str:
+        rows = [
+            [n, d, m, o]
+            for n, d, m, o in zip(
+                self.node_counts,
+                self.default_multipliers,
+                self.ml_multipliers,
+                self.oracle_multipliers,
+            )
+        ]
+        table = format_table(
+            ["ice nodes", "default policy", "ML-selected", "oracle"],
+            rows,
+            title="E1: CICE decomposition slowdown multiplier by policy",
+        )
+        return table + f"\nmean ice speedup from ML selection: {self.mean_gain_pct():.1f}%"
+
+
+def run_ice_decomposition(
+    *,
+    node_counts: tuple[int, ...] = (12, 48, 96, 200, 400, 800, 1500),
+    seed: int = 2014,
+) -> IceDecompResult:
+    ice_model = one_degree_ground_truth()["ice"].model
+    rng = default_rng(seed)
+    samples = collect_training_data(
+        ice_model, (8, 16, 32, 64, 128, 256, 512, 1024, 2048), rng, noise=0.02
+    )
+    selector = DecompositionSelector(k=3).fit(samples)
+    return IceDecompResult(
+        node_counts=node_counts,
+        default_multipliers=[
+            true_multiplier(default_decomposition(n), n) for n in node_counts
+        ],
+        ml_multipliers=[
+            true_multiplier(selector.best(n), n) for n in node_counts
+        ],
+        oracle_multipliers=[
+            true_multiplier(oracle_best(n), n) for n in node_counts
+        ],
+    )
+
+
+@dataclass
+class TaskingResult:
+    """E2: per-component tasking choice and the balanced-makespan effect."""
+
+    policies: dict[str, str]
+    component_speedups: dict[str, float]
+    default_total: float
+    tuned_total: float
+
+    def total_gain_pct(self) -> float:
+        return 100.0 * (1.0 - self.tuned_total / self.default_total)
+
+    def render(self) -> str:
+        rows = [
+            [comp, self.policies[comp], self.component_speedups[comp]]
+            for comp in sorted(self.policies)
+        ]
+        table = format_table(
+            ["component", "best tasking", "component speedup"],
+            rows,
+            title="E2: MPI-task x OpenMP-thread tuning (1-degree)",
+        )
+        return table + (
+            f"\nbalanced makespan @128 nodes: default tasking "
+            f"{self.default_total:.1f} s -> tuned {self.tuned_total:.1f} s "
+            f"({self.total_gain_pct():.1f}%)"
+        )
+
+
+def run_tasking_tuning(*, total_nodes: int = 128, seed: int = 2014) -> TaskingResult:
+    policies = best_tasking()
+    speedups = tasking_speedup()
+
+    def run(tasking):
+        app = CESMApplication(one_degree())
+        if tasking:
+            from repro.cesm.simulator import CESMSimulator
+
+            app.simulator = CESMSimulator(app.config, layout=app.layout, tasking=tasking)
+        result = HSLBOptimizer(app).run(
+            BENCHMARK_CAMPAIGN["1deg"], total_nodes, default_rng(seed)
+        )
+        return result.actual_total
+
+    default_total = run(None)
+    tuned_total = run(policies)
+    return TaskingResult(
+        policies={
+            comp: f"{p.tasks_per_node}x{p.threads_per_task}"
+            for comp, p in policies.items()
+        },
+        component_speedups=speedups,
+        default_total=default_total,
+        tuned_total=tuned_total,
+    )

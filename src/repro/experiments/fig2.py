@@ -1,0 +1,98 @@
+"""Figure 2 reproduction: per-component scaling curves, 1° layout 1.
+
+The figure plots, for each component, the benchmark observations and the
+fitted curve ``T_j(n) = a_j/n + b_j n^{c_j} + d_j`` across node counts.  The
+runner regenerates exactly that: a benchmark campaign, the four fits (with
+their R², which the paper reports as "very close to 1"), and a dense curve
+sampling suitable for plotting or tabulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cesm.app import CESMApplication
+from repro.cesm.grids import one_degree
+from repro.core.hslb import HSLBOptimizer
+from repro.experiments.paper_data import BENCHMARK_CAMPAIGN, COMPONENT_ORDER
+from repro.perf.fitting import FitResult
+from repro.util.rng import default_rng
+from repro.util.tables import format_table
+
+
+@dataclass
+class Fig2Series:
+    """One component's panel: observations, fit, and sampled curve."""
+
+    component: str
+    observed_nodes: np.ndarray
+    observed_seconds: np.ndarray
+    fit: FitResult
+    curve_nodes: np.ndarray
+    curve_seconds: np.ndarray
+
+
+@dataclass
+class Fig2Result:
+    series: dict[str, Fig2Series]
+
+    def render(self) -> str:
+        rows = []
+        for comp in COMPONENT_ORDER:
+            s = self.series[comp]
+            a, b, c, d = s.fit.model.as_tuple()
+            rows.append(
+                [comp, len(s.observed_nodes), a, b, c, d, s.fit.r_squared]
+            )
+        table = format_table(
+            ["component", "D points", "a", "b", "c", "d", "R^2"],
+            rows,
+            title="Figure 2: fitted scaling curves, 1-degree layout 1",
+            float_fmt=".4g",
+        )
+        from repro.util.ascii_plot import ascii_plot
+
+        chart = ascii_plot(
+            {
+                comp: (list(s.curve_nodes), list(s.curve_seconds))
+                for comp, s in self.series.items()
+            },
+            log_x=True,
+            log_y=True,
+            title="fitted scaling curves (log-log)",
+            x_label="nodes",
+            y_label="seconds",
+        )
+        return table + "\n\n" + chart
+
+    def min_r_squared(self) -> float:
+        return min(s.fit.r_squared for s in self.series.values())
+
+
+def run_fig2(*, seed: int = 2014, curve_points: int = 33) -> Fig2Result:
+    """Regenerate Figure 2's data (observations + fitted curves)."""
+    app = CESMApplication(one_degree())
+    rng = default_rng(seed)
+    opt = HSLBOptimizer(app)
+    suite = opt.gather(BENCHMARK_CAMPAIGN["1deg"], rng)
+    fits = opt.fit(suite, rng)
+
+    series = {}
+    for comp in COMPONENT_ORDER:
+        bench = suite[comp]
+        n, y = bench.arrays()
+        lo, hi = bench.node_range
+        grid = np.unique(
+            np.round(np.logspace(np.log10(lo), np.log10(hi), curve_points))
+        )
+        series[comp] = Fig2Series(
+            component=comp,
+            observed_nodes=n,
+            observed_seconds=y,
+            fit=fits[comp],
+            curve_nodes=grid,
+            curve_seconds=fits[comp].model.time(grid),
+        )
+    return Fig2Result(series=series)

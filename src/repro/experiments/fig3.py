@@ -1,0 +1,64 @@
+"""Figure 3 reproduction: 1/8° totals — "human" guess vs HSLB predicted vs
+HSLB actual, at 8192 and 32768 nodes (constrained and unconstrained ocean).
+
+The figure summarizes the 1/8° blocks of Table III as grouped bars; the
+runner reuses the Table III machinery and emits the same series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.paper_data import TABLE3
+from repro.experiments.table3 import Table3Result, run_table3_block
+from repro.util.tables import format_table
+
+_FIG3_KEYS = (
+    "eighth-8192",
+    "eighth-32768",
+    "eighth-8192-freeocn",
+    "eighth-32768-freeocn",
+)
+
+
+@dataclass
+class Fig3Result:
+    blocks: dict[str, Table3Result]
+
+    def series(self) -> dict[str, dict[str, float]]:
+        """The three bar series, keyed like the paper's legend."""
+        out: dict[str, dict[str, float]] = {"human": {}, "predicted": {}, "actual": {}}
+        for key, block in self.blocks.items():
+            out["human"][key] = block.manual_total
+            out["predicted"][key] = block.hslb.predicted_total
+            out["actual"][key] = block.hslb.actual_total
+        return out
+
+    def render(self) -> str:
+        rows = []
+        for key in _FIG3_KEYS:
+            b = self.blocks[key]
+            paper = TABLE3[key]
+            rows.append(
+                [
+                    key,
+                    b.manual_total,
+                    b.hslb.predicted_total,
+                    b.hslb.actual_total,
+                    paper.hslb_pred_total,
+                    paper.hslb_actual_total,
+                ]
+            )
+        return format_table(
+            ["case", "human s", "HSLB pred s", "HSLB actual s",
+             "paper pred s", "paper actual s"],
+            rows,
+            title="Figure 3: 1/8-degree totals, human vs HSLB",
+            float_fmt=".1f",
+        )
+
+
+def run_fig3(*, seed: int = 2014) -> Fig3Result:
+    return Fig3Result(
+        blocks={key: run_table3_block(key, seed=seed) for key in _FIG3_KEYS}
+    )

@@ -1,0 +1,113 @@
+"""Figure 4 reproduction: predicted scaling of layouts 1–3 at 1° resolution.
+
+The paper built models for all three layouts but only ran layout 1; Figure 4
+plots the *predicted* optimal total time of each layout across machine
+sizes, plus the experimental layout-1 points ("layout (1exp)"), reporting
+R² = 1.0 between layout-1 prediction and experiment.
+
+The runner solves the three layout MINLPs at each machine size from one
+shared set of fitted curves, executes the layout-1 allocation for the
+experimental series, and computes the same R².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cesm.app import CESMApplication
+from repro.cesm.grids import one_degree
+from repro.cesm.layouts import Layout
+from repro.core.hslb import HSLBOptimizer
+from repro.experiments.paper_data import BENCHMARK_CAMPAIGN
+from repro.util.rng import default_rng
+from repro.util.tables import format_table
+
+FIG4_NODE_COUNTS = (128, 256, 512, 1024, 2048)
+
+
+@dataclass
+class Fig4Result:
+    node_counts: tuple[int, ...]
+    predicted: dict[Layout, list[float]]
+    experimental_layout1: list[float]
+
+    def r_squared_layout1(self) -> float:
+        """R² between predicted and experimental layout-1 series."""
+        pred = np.array(self.predicted[Layout.HYBRID])
+        exp = np.array(self.experimental_layout1)
+        ss_res = float(np.sum((exp - pred) ** 2))
+        ss_tot = float(np.sum((exp - exp.mean()) ** 2))
+        return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+    def render(self) -> str:
+        rows = []
+        for i, n in enumerate(self.node_counts):
+            rows.append(
+                [
+                    n,
+                    self.predicted[Layout.HYBRID][i],
+                    self.predicted[Layout.SEQUENTIAL_GROUP][i],
+                    self.predicted[Layout.FULLY_SEQUENTIAL][i],
+                    self.experimental_layout1[i],
+                ]
+            )
+        table = format_table(
+            ["nodes", "layout1 pred", "layout2 pred", "layout3 pred", "layout1 exp"],
+            rows,
+            title="Figure 4: layout scaling at 1 degree",
+            float_fmt=".1f",
+        )
+        from repro.util.ascii_plot import ascii_plot
+
+        chart = ascii_plot(
+            {
+                "layout1": (list(self.node_counts), self.predicted[Layout.HYBRID]),
+                "layout2": (
+                    list(self.node_counts),
+                    self.predicted[Layout.SEQUENTIAL_GROUP],
+                ),
+                "layout3": (
+                    list(self.node_counts),
+                    self.predicted[Layout.FULLY_SEQUENTIAL],
+                ),
+                "layout1exp": (list(self.node_counts), self.experimental_layout1),
+            },
+            log_x=True,
+            log_y=True,
+            title="layout scaling (log-log)",
+            x_label="nodes",
+            y_label="seconds",
+        )
+        return (
+            table
+            + f"\nR^2(layout1 pred vs exp) = {self.r_squared_layout1():.4f}\n\n"
+            + chart
+        )
+
+
+def run_fig4(*, seed: int = 2014) -> Fig4Result:
+    rng = default_rng(seed)
+    base_app = CESMApplication(one_degree())
+    opt = HSLBOptimizer(base_app)
+    suite = opt.gather(BENCHMARK_CAMPAIGN["1deg"], rng)
+    fits = opt.fit(suite, rng)
+
+    predicted: dict[Layout, list[float]] = {layout: [] for layout in Layout}
+    experimental: list[float] = []
+    for total in FIG4_NODE_COUNTS:
+        for layout in Layout:
+            app = CESMApplication(one_degree(), layout=layout)
+            layout_opt = HSLBOptimizer(app)
+            result = layout_opt.run_from_fits(
+                fits, total, default_rng(seed + total), execute=(layout is Layout.HYBRID)
+            )
+            predicted[layout].append(result.predicted_total)
+            if layout is Layout.HYBRID:
+                experimental.append(result.actual_total)
+    return Fig4Result(
+        node_counts=FIG4_NODE_COUNTS,
+        predicted=predicted,
+        experimental_layout1=experimental,
+    )

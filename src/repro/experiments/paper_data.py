@@ -1,0 +1,148 @@
+"""Literal numbers from the paper, used for side-by-side reporting and
+shape assertions.
+
+Source: Table III of "The Heuristic Static Load-Balancing Algorithm Applied
+to the Community Earth System Model" (IPDPSW 2014).  Components are ordered
+(lnd, ice, atm, ocn) as in the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.spec import Allocation
+
+COMPONENT_ORDER = ("lnd", "ice", "atm", "ocn")
+
+
+@dataclass(frozen=True)
+class PaperTable3Block:
+    """One block of Table III."""
+
+    key: str
+    resolution: str           # "1deg" | "eighth"
+    total_nodes: int
+    constrained_ocean: bool
+    manual_nodes: dict[str, int] | None
+    manual_times: dict[str, float] | None
+    manual_total: float | None
+    hslb_pred_nodes: dict[str, int]
+    hslb_pred_times: dict[str, float]
+    hslb_pred_total: float
+    hslb_actual_nodes: dict[str, int]
+    hslb_actual_times: dict[str, float]
+    hslb_actual_total: float
+
+    @property
+    def manual_allocation(self) -> Allocation | None:
+        return Allocation(self.manual_nodes) if self.manual_nodes else None
+
+
+def _d(lnd, ice, atm, ocn):
+    return {"lnd": lnd, "ice": ice, "atm": atm, "ocn": ocn}
+
+
+TABLE3: dict[str, PaperTable3Block] = {
+    "1deg-128": PaperTable3Block(
+        key="1deg-128",
+        resolution="1deg",
+        total_nodes=128,
+        constrained_ocean=True,
+        manual_nodes=_d(24, 80, 104, 24),
+        manual_times=_d(63.766, 109.054, 306.952, 362.669),
+        manual_total=416.006,
+        hslb_pred_nodes=_d(15, 89, 104, 24),
+        hslb_pred_times=_d(100.951, 102.972, 307.651, 365.649),
+        hslb_pred_total=410.623,
+        hslb_actual_nodes=_d(15, 89, 104, 24),
+        hslb_actual_times=_d(100.202, 116.472, 308.699, 365.853),
+        hslb_actual_total=425.171,
+    ),
+    "1deg-2048": PaperTable3Block(
+        key="1deg-2048",
+        resolution="1deg",
+        total_nodes=2048,
+        constrained_ocean=True,
+        manual_nodes=_d(384, 1280, 1664, 384),
+        manual_times=_d(5.777, 17.912, 61.987, 61.987),
+        manual_total=79.899,
+        hslb_pred_nodes=_d(71, 1454, 1525, 256),
+        hslb_pred_times=_d(22.693, 22.822, 61.662, 78.532),
+        hslb_pred_total=84.484,
+        hslb_actual_nodes=_d(71, 1454, 1525, 256),
+        hslb_actual_times=_d(23.158, 18.242, 63.313, 79.139),
+        hslb_actual_total=86.471,
+    ),
+    "eighth-8192": PaperTable3Block(
+        key="eighth-8192",
+        resolution="eighth",
+        total_nodes=8192,
+        constrained_ocean=True,
+        manual_nodes=_d(486, 5350, 5836, 2356),
+        manual_times=_d(147.397, 475.614, 2533.76, 3785.333),
+        manual_total=3785.333,
+        hslb_pred_nodes=_d(138, 4918, 5056, 3136),
+        hslb_pred_times=_d(487.853, 511.596, 2878.798, 2919.052),
+        hslb_pred_total=3390.394,
+        hslb_actual_nodes=_d(138, 4918, 5056, 3136),
+        hslb_actual_times=_d(457.052, 499.691, 2989.115, 2898.102),
+        hslb_actual_total=3488.806,
+    ),
+    "eighth-32768": PaperTable3Block(
+        key="eighth-32768",
+        resolution="eighth",
+        total_nodes=32768,
+        constrained_ocean=True,
+        manual_nodes=_d(2220, 24424, 26644, 6124),
+        manual_times=_d(44.225, 214.203, 787.478, 1645.009),
+        manual_total=1645.009,
+        hslb_pred_nodes=_d(302, 13006, 13308, 19460),
+        hslb_pred_times=_d(232.158, 290.088, 1302.562, 712.525),
+        hslb_pred_total=1592.649,
+        hslb_actual_nodes=_d(302, 13006, 13308, 19460),
+        hslb_actual_times=_d(223.284, 311.195, 1301.136, 700.373),
+        hslb_actual_total=1612.331,
+    ),
+    "eighth-8192-freeocn": PaperTable3Block(
+        key="eighth-8192-freeocn",
+        resolution="eighth",
+        total_nodes=8192,
+        constrained_ocean=False,
+        manual_nodes=None,
+        manual_times=None,
+        manual_total=None,
+        hslb_pred_nodes=_d(137, 5238, 5375, 2817),
+        hslb_pred_times=_d(487.853, 489.904, 2727.934, 3216.924),
+        hslb_pred_total=3217.837,
+        hslb_actual_nodes=_d(146, 5287, 5433, 2759),
+        hslb_actual_times=_d(417.162, 475.249, 2702.651, 3496.331),
+        hslb_actual_total=3496.331,
+    ),
+    "eighth-32768-freeocn": PaperTable3Block(
+        key="eighth-32768-freeocn",
+        resolution="eighth",
+        total_nodes=32768,
+        constrained_ocean=False,
+        manual_nodes=None,
+        manual_times=None,
+        manual_total=None,
+        hslb_pred_nodes=_d(299, 22657, 22956, 9812),
+        hslb_pred_times=_d(232.158, 232.735, 896.67, 1129.335),
+        hslb_pred_total=1129.405,
+        hslb_actual_nodes=_d(272, 20616, 20888, 11880),
+        hslb_actual_times=_d(238.46, 231.631, 956.558, 1255.593),
+        hslb_actual_total=1255.593,
+    ),
+}
+
+#: Benchmark campaigns (total node counts) per resolution — the "about five
+#: different core counts" of the manual procedure, reused by HSLB's gather.
+BENCHMARK_CAMPAIGN = {
+    "1deg": (32, 64, 128, 256, 512, 1024, 2048),
+    "eighth": (2048, 4096, 8192, 16384, 32768),
+}
+
+#: Paper-quoted headline: unconstrained ocean at 32768 nodes improved the
+#: predicted time by ~40% and the actual time by ~25% vs the constrained run.
+HEADLINE_PREDICTED_GAIN = 1.0 - 1129.335 / 1592.649   # ~0.29 vs quoted 40% on ocn
+HEADLINE_ACTUAL_GAIN = 1.0 - 1255.593 / 1612.331      # ~0.22 vs quoted ~25%

@@ -1,0 +1,66 @@
+"""Experiment registry: name -> runner, for the CLI and the bench harness."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments import (
+    ablations,
+    cost,
+    extensions,
+    fig2,
+    fig3,
+    fig4,
+    fmo_experiments,
+    predictions,
+    robustness,
+    table3,
+)
+
+#: Every reproducible artifact, keyed by the DESIGN.md experiment id.
+EXPERIMENTS: dict[str, Callable[..., object]] = {
+    "table3-1deg-128": lambda **kw: table3.run_table3_block("1deg-128", **kw),
+    "table3-1deg-2048": lambda **kw: table3.run_table3_block("1deg-2048", **kw),
+    "table3-eighth-8192": lambda **kw: table3.run_table3_block("eighth-8192", **kw),
+    "table3-eighth-32768": lambda **kw: table3.run_table3_block("eighth-32768", **kw),
+    "table3-eighth-8192-freeocn": lambda **kw: table3.run_table3_block(
+        "eighth-8192-freeocn", **kw
+    ),
+    "table3-eighth-32768-freeocn": lambda **kw: table3.run_table3_block(
+        "eighth-32768-freeocn", **kw
+    ),
+    "fig2": fig2.run_fig2,
+    "fig3": fig3.run_fig3,
+    "fig4": fig4.run_fig4,
+    "ablation-objectives": ablations.run_objective_ablation,
+    "ablation-sos": ablations.run_sos_branching_ablation,
+    "ablation-tsync": ablations.run_tsync_ablation,
+    "solver-scaling": ablations.run_solver_scaling,
+    "fmo-comparison": fmo_experiments.run_fmo_comparison,
+    "fmo-pipeline": fmo_experiments.run_fmo_pipeline,
+    "fmo-speedup": fmo_experiments.run_fmo_speedup,
+    "fmo-two-phase": fmo_experiments.run_fmo_two_phase,
+    "fmo-diversity": fmo_experiments.run_fmo_diversity_sweep,
+    "predict-job-size": predictions.run_job_size_prediction,
+    "predict-component-swap": predictions.run_component_swap_prediction,
+    "predict-new-hardware": predictions.run_new_hardware_prediction,
+    "robustness-noise": robustness.run_noise_sweep,
+    "robustness-outliers": robustness.run_outlier_robustness,
+    "ext-ice-decomposition": extensions.run_ice_decomposition,
+    "ext-tasking": extensions.run_tasking_tuning,
+    "tuning-cost": cost.run_tuning_cost,
+}
+
+
+def run_experiment(name: str, **kwargs) -> object:
+    """Run a registered experiment and return its result object.
+
+    Every result has a ``render()`` method producing the paper-style table.
+    """
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+        ) from None
+    return runner(**kwargs)

@@ -1,0 +1,53 @@
+"""FMO application layer: the fragment molecular orbital method.
+
+This honors the SC 2012 title paper ("Heuristic static load-balancing
+algorithm applied to the fragment molecular orbital method"): HSLB was first
+built to size GAMESS/GDDI processor groups for FMO fragment calculations —
+the regime of "a few large tasks of diverse size" where dynamic load
+balancing breaks down because there are fewer tasks than processors (§I of
+the supplied text).
+
+Modules:
+
+* :mod:`repro.fmo.molecules`  — synthetic fragmented systems (water
+  clusters, protein-like chains) with size diversity knobs;
+* :mod:`repro.fmo.timing`     — per-fragment SCF cost models (cubic in
+  basis-set size) mapped onto :class:`repro.perf.PerformanceModel`;
+* :mod:`repro.fmo.gddi`       — two-level GDDI group model and schedules;
+* :mod:`repro.fmo.schedulers` — HSLB (MINLP) and baseline schedulers;
+* :mod:`repro.fmo.simulator`  — executes a schedule (monomer SCC loop +
+  dimer step) and reports the makespan;
+* :mod:`repro.fmo.app`        — :class:`repro.core.Application` adapter.
+"""
+
+from repro.fmo.app import FMOApplication
+from repro.fmo.gddi import GroupSchedule
+from repro.fmo.molecules import FragmentedSystem, protein_like, water_cluster
+from repro.fmo.schedulers import (
+    greedy_dynamic_schedule,
+    hslb_schedule,
+    uniform_static_schedule,
+)
+from repro.fmo.simulator import FMOSimulator
+from repro.fmo.twophase import (
+    TwoPhaseSchedule,
+    TwoPhaseSimulator,
+    hslb_two_phase_schedule,
+    uniform_two_phase_schedule,
+)
+
+__all__ = [
+    "FMOApplication",
+    "FMOSimulator",
+    "FragmentedSystem",
+    "GroupSchedule",
+    "TwoPhaseSchedule",
+    "TwoPhaseSimulator",
+    "greedy_dynamic_schedule",
+    "hslb_schedule",
+    "hslb_two_phase_schedule",
+    "protein_like",
+    "uniform_static_schedule",
+    "uniform_two_phase_schedule",
+    "water_cluster",
+]

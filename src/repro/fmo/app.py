@@ -1,0 +1,102 @@
+"""The :class:`repro.core.Application` adapter for FMO.
+
+Components are fragments (``frag0`` ... ``fragK``); the MINLP is the
+min-max one-group-per-fragment sizing problem; execution runs the resulting
+schedule through the simulator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.builder import AllocationModelBuilder
+from repro.core.objectives import Objective
+from repro.core.spec import Allocation, Application, ExecutionResult
+from repro.fmo.gddi import GroupSchedule
+from repro.fmo.molecules import FragmentedSystem
+from repro.fmo.simulator import FMOSimulator
+from repro.fmo.timing import MachineCalibration
+from repro.minlp.problem import Problem
+from repro.minlp.solution import Solution
+from repro.perf.data import BenchmarkSuite
+from repro.perf.model import PerformanceModel
+
+
+class FMOApplication(Application):
+    """FMO as seen by HSLB."""
+
+    def __init__(
+        self,
+        system: FragmentedSystem,
+        *,
+        calib: MachineCalibration | None = None,
+        noise: float = 0.02,
+        objective: Objective = Objective.MIN_MAX,
+    ) -> None:
+        self.system = system
+        self.objective = objective
+        self.simulator = FMOSimulator(system, calib=calib, noise=noise)
+
+    @property
+    def component_names(self) -> tuple[str, ...]:
+        return tuple(f"frag{f.index}" for f in self.system.fragments)
+
+    @property
+    def requires_nonconvex_solver(self) -> bool:
+        # MAX_MIN's epigraph (t <= convex) is not OA-safe.
+        return self.objective is Objective.MAX_MIN
+
+    def benchmark(
+        self, node_counts: Sequence[int], rng: np.random.Generator
+    ) -> BenchmarkSuite:
+        return self.simulator.benchmark(node_counts, rng)
+
+    def formulate(
+        self, models: Mapping[str, PerformanceModel], total_nodes: int
+    ) -> Problem:
+        if total_nodes < self.system.n_fragments:
+            raise ValueError(
+                f"{total_nodes} nodes cannot host {self.system.n_fragments} groups"
+            )
+        b = AllocationModelBuilder(f"fmo-{self.system.name}", total_nodes)
+        for name in self.component_names:
+            b.add_component(name, models[name])
+        b.limit_total_nodes(exact=self.objective is Objective.MAX_MIN)
+        b.set_objective(self.objective)
+        return b.build()
+
+    def allocation_from_solution(self, solution: Solution) -> Allocation:
+        return Allocation(
+            {
+                name: int(round(solution.values[f"n_{name}"]))
+                for name in self.component_names
+            }
+        )
+
+    def schedule_from_allocation(self, allocation: Allocation) -> GroupSchedule:
+        """One group per fragment, sized by the allocation."""
+        sizes = tuple(allocation[f"frag{i}"] for i in range(self.system.n_fragments))
+        return GroupSchedule(
+            group_sizes=sizes,
+            assignment=tuple(range(self.system.n_fragments)),
+            label="hslb-pipeline",
+        )
+
+    def execute(
+        self, allocation: Allocation, rng: np.random.Generator
+    ) -> ExecutionResult:
+        schedule = self.schedule_from_allocation(allocation)
+        run = self.simulator.execute(schedule, rng)
+        times = {
+            f"frag{i}": run.fragment_times[i] for i in range(self.system.n_fragments)
+        }
+        return ExecutionResult(
+            component_times=times,
+            total_time=run.makespan,
+            metadata={
+                "load_imbalance": run.load_imbalance,
+                "group_sizes": schedule.group_sizes,
+            },
+        )

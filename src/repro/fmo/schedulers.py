@@ -1,0 +1,122 @@
+"""Fragment-to-group schedulers: HSLB and the baselines it is compared to.
+
+* :func:`hslb_schedule` — the paper's algorithm: a MINLP sizes one group per
+  fragment (min-max over fitted ``T_i(n_i)`` with ``sum n_i <= N``), solved
+  by LP/NLP branch-and-bound.
+* :func:`uniform_static_schedule` — naive SLB: equal groups, fragments dealt
+  round-robin with no regard for size.
+* :func:`greedy_dynamic_schedule` — idealized DLB: equal groups, fragments
+  dispatched longest-first to the earliest-available group with *perfect*
+  knowledge of task lengths (an upper bound on what real work-stealing can
+  achieve).  With fewer tasks than would fill the groups' nodes, this is the
+  regime where the paper argues DLB loses to HSLB.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.core.builder import AllocationModelBuilder
+from repro.core.objectives import Objective
+from repro.fmo.gddi import GroupSchedule, even_group_sizes
+from repro.fmo.molecules import FragmentedSystem
+from repro.fmo.timing import MachineCalibration, total_fragment_model
+from repro.minlp import solve
+from repro.minlp.bnb import BnBOptions
+from repro.minlp.solution import Solution
+from repro.perf.model import PerformanceModel
+
+
+def fragment_models(
+    system: FragmentedSystem, calib: MachineCalibration | None = None
+) -> dict[int, PerformanceModel]:
+    """Ground-truth per-fragment scaling models (see :mod:`repro.fmo.timing`)."""
+    return {
+        f.index: total_fragment_model(system, f, calib) for f in system.fragments
+    }
+
+
+def hslb_schedule(
+    system: FragmentedSystem,
+    total_nodes: int,
+    *,
+    models: Mapping[int, PerformanceModel] | None = None,
+    objective: Objective = Objective.MIN_MAX,
+    options: BnBOptions | None = None,
+    rng: np.random.Generator | None = None,
+) -> tuple[GroupSchedule, Solution]:
+    """Solve the HSLB MINLP: one group per fragment, sizes chosen globally.
+
+    ``models`` defaults to the analytic ground truth; the full pipeline path
+    (benchmark, then fit) goes through :class:`repro.fmo.app.FMOApplication`.
+    Returns the schedule and the MINLP solution (prediction = objective).
+    """
+    if total_nodes < system.n_fragments:
+        raise ValueError(
+            f"{total_nodes} nodes cannot host {system.n_fragments} one-fragment groups"
+        )
+    models = dict(models) if models is not None else fragment_models(system)
+    b = AllocationModelBuilder(f"fmo-{system.name}", total_nodes)
+    for frag in system.fragments:
+        b.add_component(f"frag{frag.index}", models[frag.index])
+    # The exact budget keeps MAX_MIN from degenerating into starving every
+    # group (see builder docs).  MIN_MAX/MIN_SUM never profit from extra
+    # nodes beyond each curve's minimum, so the cheaper-to-solve `<=` budget
+    # is equivalent for them.
+    b.limit_total_nodes(exact=objective is Objective.MAX_MIN)
+    b.set_objective(objective)
+    # MAX_MIN's epigraph rows (t <= convex) are nonconvex; OA cuts would be
+    # invalid, so route that objective to NLP-based branch-and-bound.
+    algorithm = "nlpbb" if objective is Objective.MAX_MIN else "auto"
+    sol = solve(b.build(), options, algorithm=algorithm, rng=rng).require_ok()
+    sizes = tuple(
+        int(round(sol.values[f"n_frag{f.index}"])) for f in system.fragments
+    )
+    schedule = GroupSchedule(
+        group_sizes=sizes,
+        assignment=tuple(range(system.n_fragments)),
+        label=f"hslb-{objective.value}",
+    )
+    return schedule, sol
+
+
+def uniform_static_schedule(
+    system: FragmentedSystem, total_nodes: int, n_groups: int
+) -> GroupSchedule:
+    """Equal group sizes; fragments dealt round-robin by index."""
+    n_groups = min(n_groups, system.n_fragments)
+    sizes = even_group_sizes(total_nodes, n_groups)
+    assignment = tuple(i % n_groups for i in range(system.n_fragments))
+    return GroupSchedule(sizes, assignment, label=f"uniform-{n_groups}g")
+
+
+def greedy_dynamic_schedule(
+    system: FragmentedSystem,
+    total_nodes: int,
+    n_groups: int,
+    *,
+    calib: MachineCalibration | None = None,
+) -> GroupSchedule:
+    """Idealized DLB: LPT dispatch onto equal groups.
+
+    Uses the true single-group-size cost of each fragment, so it represents
+    dynamic balancing with perfect foresight — stronger than any real
+    work-stealing runtime.
+    """
+    n_groups = min(n_groups, system.n_fragments)
+    sizes = even_group_sizes(total_nodes, n_groups)
+    models = fragment_models(system, calib)
+    # Cost of each fragment on its (equal-sized) group.
+    costs = {
+        f.index: float(models[f.index].time(sizes[0])) for f in system.fragments
+    }
+    order = sorted(costs, key=costs.get, reverse=True)
+    loads = [0.0] * n_groups
+    assignment = [0] * system.n_fragments
+    for frag in order:
+        grp = int(np.argmin(loads))
+        assignment[frag] = grp
+        loads[grp] += costs[frag]
+    return GroupSchedule(sizes, tuple(assignment), label=f"dlb-{n_groups}g")

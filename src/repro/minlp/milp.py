@@ -1,0 +1,26 @@
+"""Mixed-integer *linear* programming via branch-and-bound over LP relaxations.
+
+This is the master-problem solver for the multi-tree outer-approximation
+algorithm and a standalone MILP solver in its own right (the CLP-plus-tree
+role in the paper's MINOTAUR stack).
+"""
+
+from __future__ import annotations
+
+from repro.minlp.bnb import BnBOptions, BranchAndBound
+from repro.minlp.problem import Problem
+from repro.minlp.solution import Solution
+
+
+def solve_milp(problem: Problem, options: BnBOptions | None = None) -> Solution:
+    """Solve a mixed-integer linear problem to proven optimality.
+
+    Raises ``ValueError`` if the problem has nonlinear pieces — route those
+    through :mod:`repro.minlp.oa` or :mod:`repro.minlp.nlpbb` instead.
+    """
+    if not problem.is_linear():
+        raise ValueError(
+            f"{problem.name!r} is nonlinear; use solve_minlp_oa / solve_minlp_nlpbb"
+        )
+    engine = BranchAndBound(problem, "lp", options)
+    return engine.solve()

@@ -1,0 +1,255 @@
+"""Nonlinear-programming layer: continuous relaxation / subproblem solves.
+
+Plays the role filterSQP plays inside MINOTAUR: given a (continuous)
+:class:`Problem`, find a KKT point.  Objective/constraint gradients come from
+the symbolic differentiation in :mod:`repro.minlp.expr` — no finite
+differencing.  Because the load-balancing models in this library are convex
+(all fitted coefficients nonnegative, exponents >= 1), a local solution is
+global; for general use a ``multistart`` option restarts from random interior
+points and keeps the best feasible result.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.minlp.expr import Expr
+from repro.minlp.problem import Problem, vector_to_values
+from repro.minlp.solution import Solution, SolveStats, Status
+from repro.util.rng import default_rng
+from repro.util.timing import Timer
+
+#: Fallback half-width of the sampling box for unbounded variables.
+_BIG = 1e4
+
+
+class _Compiled:
+    """Expression compiled against a fixed variable ordering.
+
+    Affine expressions get a constant gradient straight from their
+    coefficients — no symbolic differentiation.  This matters: HSLB masters
+    carry sum-over-hundreds-of-binaries rows whose term-by-term product-rule
+    walk would dominate solve time.
+    """
+
+    def __init__(self, expr: Expr, names: tuple[str, ...]) -> None:
+        self.expr = expr
+        self.names = names
+        self._const_grad: np.ndarray | None = None
+        self.grad_exprs: list[Expr] | None = None
+        try:
+            coeffs, _ = expr.linear_coefficients()
+        except Exception:
+            active = expr.variables()
+            # Only differentiate w.r.t. variables that actually appear.
+            self.grad_exprs = [
+                expr.diff(n) if n in active else None for n in names
+            ]
+        else:
+            self._const_grad = np.array(
+                [coeffs.get(n, 0.0) for n in names], dtype=float
+            )
+
+    def value(self, x: np.ndarray) -> float:
+        return float(self.expr.evaluate(dict(zip(self.names, x))))
+
+    def grad(self, x: np.ndarray) -> np.ndarray:
+        if self._const_grad is not None:
+            return self._const_grad.copy()
+        values = dict(zip(self.names, x))
+        return np.array(
+            [0.0 if g is None else g.evaluate(values) for g in self.grad_exprs],
+            dtype=float,
+        )
+
+
+def _sample_box(problem: Problem, rng: np.random.Generator) -> np.ndarray:
+    lo = np.array([max(v.lb, -_BIG) for v in problem.variables])
+    hi = np.array([min(v.ub, _BIG) for v in problem.variables])
+    return rng.uniform(lo, hi)
+
+
+def _initial_point(problem: Problem) -> np.ndarray:
+    """Deterministic starting point: the box midpoint, clipped to finite."""
+    x0 = []
+    for v in problem.variables:
+        lb = v.lb if math.isfinite(v.lb) else -_BIG
+        ub = v.ub if math.isfinite(v.ub) else _BIG
+        x0.append(0.5 * (lb + ub))
+    return np.array(x0)
+
+
+def solve_nlp(
+    problem: Problem,
+    x0: np.ndarray | dict[str, float] | None = None,
+    *,
+    multistart: int = 1,
+    method: str = "SLSQP",
+    tol: float = 1e-9,
+    feas_tol: float = 1e-6,
+    max_iter: int = 300,
+    rng: np.random.Generator | None = None,
+) -> Solution:
+    """Solve the continuous problem, ignoring integrality and SOS1 sets.
+
+    Parameters mirror a classical NLP driver: optional warm start ``x0``,
+    ``multistart`` extra random restarts, and scipy ``method`` selection
+    (``SLSQP`` or ``trust-constr``).  Returns the best feasible KKT point
+    found; ``Status.INFEASIBLE`` when every start ends infeasible.
+    """
+    if method not in ("SLSQP", "trust-constr"):
+        raise ValueError(f"unsupported NLP method {method!r}")
+
+    # Substitute out variables pinned by equal bounds.  SLSQP mishandles
+    # degenerate lb == ub box constraints (it can declare success at an
+    # arbitrary feasible point), and branch-and-bound produces exactly such
+    # problems constantly — so the reduction is done here, once, for every
+    # caller.
+    reduced = problem.reduce_fixed()
+    if reduced is None:
+        return Solution(
+            Status.INFEASIBLE,
+            stats=SolveStats(nlp_solves=1),
+            message="fixed variables violate a constraint",
+        )
+    small, pinned = reduced
+    if pinned:
+        if small.num_variables == 0:
+            values = dict(pinned)
+            viol = max((c.violation(values) for c in problem.constraints), default=0.0)
+            if viol > feas_tol:
+                return Solution(
+                    Status.INFEASIBLE,
+                    stats=SolveStats(nlp_solves=1),
+                    message="fully pinned and infeasible",
+                )
+            return Solution(
+                Status.OPTIMAL,
+                values=values,
+                objective=problem.objective_value(values),
+                stats=SolveStats(nlp_solves=1),
+            )
+        if isinstance(x0, dict):
+            x0 = {k: v for k, v in x0.items() if k in small.variable_names}
+        elif x0 is not None:
+            full = dict(zip(problem.variable_names, np.asarray(x0, dtype=float)))
+            x0 = {k: v for k, v in full.items() if k in small.variable_names}
+        inner = solve_nlp(
+            small,
+            x0,
+            multistart=multistart,
+            method=method,
+            tol=tol,
+            feas_tol=feas_tol,
+            max_iter=max_iter,
+            rng=rng,
+        )
+        if inner.status.is_ok:
+            inner.values = {**inner.values, **pinned}
+        return inner
+
+    names = problem.variable_names
+    sign = -1.0 if problem.sense.value == "maximize" else 1.0
+
+    obj = _Compiled(problem.objective, names)
+    lo = np.array([v.lb for v in problem.variables])
+    hi = np.array([v.ub for v in problem.variables])
+
+    def fun(x: np.ndarray) -> float:
+        return sign * obj.value(np.clip(x, lo, hi))
+
+    def jac(x: np.ndarray) -> np.ndarray:
+        return sign * obj.grad(np.clip(x, lo, hi))
+
+    # scipy's dict-constraint convention: ineq means g(x) >= 0.
+    cons = []
+    for con in problem.constraints:
+        comp = _Compiled(con.body, names)
+        if con.is_equality:
+            cons.append(
+                {
+                    "type": "eq",
+                    "fun": (lambda x, c=comp, b=con.lb: c.value(np.clip(x, lo, hi)) - b),
+                    "jac": (lambda x, c=comp: c.grad(np.clip(x, lo, hi))),
+                }
+            )
+            continue
+        if math.isfinite(con.ub):
+            cons.append(
+                {
+                    "type": "ineq",
+                    "fun": (lambda x, c=comp, b=con.ub: b - c.value(np.clip(x, lo, hi))),
+                    "jac": (lambda x, c=comp: -c.grad(np.clip(x, lo, hi))),
+                }
+            )
+        if math.isfinite(con.lb):
+            cons.append(
+                {
+                    "type": "ineq",
+                    "fun": (lambda x, c=comp, b=con.lb: c.value(np.clip(x, lo, hi)) - b),
+                    "jac": (lambda x, c=comp: c.grad(np.clip(x, lo, hi))),
+                }
+            )
+
+    bounds = [
+        (v.lb if math.isfinite(v.lb) else None, v.ub if math.isfinite(v.ub) else None)
+        for v in problem.variables
+    ]
+
+    starts: list[np.ndarray] = []
+    if x0 is not None:
+        if isinstance(x0, dict):
+            starts.append(np.array([float(x0[n]) for n in names]))
+        else:
+            starts.append(np.asarray(x0, dtype=float))
+    else:
+        starts.append(_initial_point(problem))
+    if multistart > 1:
+        rng = rng or default_rng()
+        starts.extend(_sample_box(problem, rng) for _ in range(multistart - 1))
+
+    stats = SolveStats()
+    best: Solution | None = None
+    timer = Timer().start()
+    for start in starts:
+        stats.nlp_solves += 1
+        try:
+            res = minimize(
+                fun,
+                np.clip(start, lo, hi),
+                jac=jac,
+                bounds=bounds,
+                constraints=cons,
+                method=method,
+                tol=tol,
+                options={"maxiter": max_iter},
+            )
+        except (ValueError, FloatingPointError, ZeroDivisionError, OverflowError):
+            continue
+        x = np.clip(np.asarray(res.x, dtype=float), lo, hi)
+        values = vector_to_values(problem, x)
+        viol = max(
+            (c.violation(values) for c in problem.constraints), default=0.0
+        )
+        if viol > feas_tol:
+            continue
+        objective = problem.objective_value(values)
+        better = best is None or (
+            sign * objective < sign * best.objective - 1e-12
+        )
+        if better:
+            best = Solution(
+                Status.OPTIMAL if res.success else Status.FEASIBLE,
+                values=values,
+                objective=objective,
+                bound=-math.inf if sign > 0 else math.inf,
+                message=str(res.message),
+            )
+    stats.wall_time = timer.stop()
+    if best is None:
+        return Solution(Status.INFEASIBLE, stats=stats, message="no feasible KKT point")
+    best.stats = stats
+    return best

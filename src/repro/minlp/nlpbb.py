@@ -1,0 +1,38 @@
+"""Classic NLP-based branch-and-bound for MINLPs.
+
+Each tree node solves the node's continuous NLP relaxation.  Slower per node
+than the LP/NLP scheme in :mod:`repro.minlp.oa`, but it does not require
+convexity for *correct feasible* answers (only for proven global optimality),
+so it doubles as the fallback when a performance model is fitted without the
+convexity restriction (exponent < 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.minlp.bnb import BnBOptions, BranchAndBound
+from repro.minlp.nlp import solve_nlp
+from repro.minlp.problem import Problem
+from repro.minlp.solution import Solution
+
+
+def solve_minlp_nlpbb(
+    problem: Problem,
+    options: BnBOptions | None = None,
+    *,
+    multistart: int = 1,
+    rng: np.random.Generator | None = None,
+) -> Solution:
+    """Solve ``problem`` by branch-and-bound with NLP relaxations.
+
+    ``multistart > 1`` restarts each node's NLP from extra random points,
+    which guards against local minima on nonconvex instances at the price of
+    proportionally more NLP solves.
+    """
+
+    def relax(node_problem: Problem) -> Solution:
+        return solve_nlp(node_problem, multistart=multistart, rng=rng)
+
+    engine = BranchAndBound(problem, relax, options)
+    return engine.solve()

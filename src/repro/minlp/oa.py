@@ -1,0 +1,338 @@
+"""Outer-approximation MINLP solvers.
+
+Implements the two classic OA schemes for convex MINLPs:
+
+* :func:`solve_minlp_oa` — the **LP/NLP-based branch-and-bound** of Quesada &
+  Grossmann, the algorithm §III-E of the paper describes MINOTAUR running: a
+  single branch-and-bound tree over a mixed-integer *linear* master; whenever
+  a node's LP solution is discrete-feasible, an NLP subproblem is solved with
+  the integers fixed, linearization cuts (paper eq. (4)) are added globally,
+  and the node is re-solved.
+
+* :func:`solve_minlp_oa_multitree` — the original Duran–Grossmann /
+  Fletcher–Leyffer **multi-tree** alternation between a MILP master and NLP
+  subproblems, kept as an independent cross-check of the single-tree code.
+
+Both require the nonlinear constraints to be of convex ``g(x) <= ub`` form —
+exactly what the paper's positivity constraints on the fitted coefficients
+guarantee (§III-E: "The positivity of the coefficients a_j, b_j, d_j implies
+that the nonlinear functions are convex, which ensures that MINOTAUR finds a
+global solution").  A nonlinear constraint with a finite *lower* bound would
+make the linearized master a non-relaxation, so it is rejected loudly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from repro.minlp.bnb import BnBOptions, BranchAndBound
+from repro.minlp.expr import Expr, VarRef, linearize
+from repro.minlp.milp import solve_milp
+from repro.minlp.nlp import solve_nlp
+from repro.minlp.problem import Constraint, Problem, Sense
+from repro.minlp.solution import Solution, SolveStats, Status
+from repro.util.timing import Timer
+
+_OBJ_VAR = "_oa_eta"
+
+
+def _check_convex_form(problem: Problem) -> None:
+    """Reject nonlinear constraints OA cannot relax as a single convex side.
+
+    Single-sided constraints are fine either way round: ``g(x) >= lb`` is
+    normalized to ``-g(x) <= -lb`` by :func:`_cut_for`, and — as in every
+    practical OA solver — the *user asserts* the normalized body is convex
+    (the paper's positivity constraints guarantee it for HSLB models).  A
+    nonlinear equality or range constraint can never be convex on both sides,
+    so those are rejected outright.
+    """
+    for con in problem.nonlinear_constraints():
+        if math.isfinite(con.lb) and math.isfinite(con.ub):
+            raise ValueError(
+                f"constraint {con.name!r} is a nonlinear equality/range "
+                "constraint; outer approximation requires single-sided convex "
+                "constraints. Use solve_minlp_nlpbb for this model."
+            )
+
+
+def _epigraph_form(problem: Problem) -> tuple[Problem, bool]:
+    """Return an equivalent problem with a linear objective.
+
+    A nonlinear objective ``min f(x)`` becomes ``min eta  s.t. f(x)-eta <= 0``
+    (for maximize, ``max eta  s.t. eta - f(x) <= 0``; validity then requires
+    concave f, which the convex-form check will enforce via the sign).
+    """
+    if problem.objective.is_linear():
+        return problem, False
+    out = Problem(f"{problem.name}:epigraph")
+    for v in problem.variables:
+        out.add_variable(v.name, v.lb, v.ub, v.domain)
+    out.add_variable(_OBJ_VAR)
+    for c in problem.constraints:
+        out.add_constraint(c.name, c.body, c.lb, c.ub)
+    eta = VarRef(_OBJ_VAR)
+    if problem.sense is Sense.MINIMIZE:
+        out.add_constraint("_oa_epigraph", problem.objective - eta, ub=0.0)
+    else:
+        out.add_constraint("_oa_epigraph", eta - problem.objective, ub=0.0)
+    for s in problem.sos1_sets:
+        out.add_sos1(s.name, s.members, s.weights)
+    out.set_objective(eta, problem.sense)
+    return out, True
+
+
+def _linear_master(work: Problem) -> Problem:
+    """Master skeleton: every variable, only the linear constraints."""
+    master = Problem(f"{work.name}:master")
+    for v in work.variables:
+        master.add_variable(v.name, v.lb, v.ub, v.domain)
+    for c in work.constraints:
+        if c.is_linear():
+            master.add_constraint(c.name, c.body, c.lb, c.ub)
+    for s in work.sos1_sets:
+        master.add_sos1(s.name, s.members, s.weights)
+    master.set_objective(work.objective, work.sense)
+    return master
+
+
+def _cut_for(con: Constraint, point: dict[str, float], name: str):
+    """Linearization cut of a single-sided nonlinear constraint at ``point``.
+
+    ``g(x) <= ub`` linearizes directly; ``g(x) >= lb`` is first normalized to
+    ``-g(x) <= -lb`` (the caller has asserted that side is convex).
+    """
+    if math.isfinite(con.ub):
+        return (name, linearize(con.body, point), -math.inf, con.ub)
+    return (name, linearize(-con.body, point), -math.inf, -con.lb)
+
+
+def _fix_discrete(work: Problem, values: dict[str, float]) -> dict[str, tuple[float, float]]:
+    fixes: dict[str, tuple[float, float]] = {}
+    for v in work.discrete_variables():
+        x = float(round(values[v.name]))
+        fixes[v.name] = (x, x)
+    return fixes
+
+
+def _solve_fixed_subproblem(
+    work: Problem,
+    values: dict[str, float],
+    *,
+    nlp_multistart: int,
+    rng: np.random.Generator | None,
+) -> Solution:
+    """NLP subproblem at a fixed integer assignment, on the reduced space.
+
+    Substituting the fixed integers out before calling the NLP solver keeps
+    the subproblem tiny (for HSLB layouts: the epigraph variables only) —
+    the full-space version spends most of its time differentiating constant
+    rows and moving pinned variables.
+    """
+    fixed_problem = work.with_bounds(_fix_discrete(work, values))
+    reduced = fixed_problem.reduce_fixed()
+    if reduced is None:
+        return Solution(Status.INFEASIBLE, message="fixing violates a constraint")
+    small, fixed_values = reduced
+    if small.num_variables == 0:
+        merged = dict(fixed_values)
+        if work.max_violation(merged) > 1e-6:
+            return Solution(Status.INFEASIBLE, message="fully fixed, infeasible")
+        return Solution(
+            Status.OPTIMAL, values=merged, objective=work.objective_value(merged)
+        )
+    x0 = {n: values[n] for n in small.variable_names if n in values}
+    sub = solve_nlp(
+        small,
+        x0=x0 if len(x0) == small.num_variables else None,
+        multistart=nlp_multistart,
+        rng=rng,
+    )
+    if sub.status.is_ok:
+        sub.values = {**sub.values, **fixed_values}
+    return sub
+
+
+def solve_minlp_oa(
+    problem: Problem,
+    options: BnBOptions | None = None,
+    *,
+    feas_tol: float = 1e-6,
+    nlp_multistart: int = 1,
+    rng: np.random.Generator | None = None,
+) -> Solution:
+    """Solve a convex MINLP with single-tree LP/NLP branch-and-bound."""
+    opts = options or BnBOptions()
+    work, has_eta = _epigraph_form(problem)
+    _check_convex_form(work)
+    nonlin = work.nonlinear_constraints()
+    if not nonlin:
+        sol = solve_milp(work, opts)
+        return _strip_eta(sol, problem, has_eta)
+
+    stats = SolveStats()
+    timer = Timer().start()
+
+    # Root relaxation: continuous NLP over the full model.  Its solution
+    # seeds the initial linearizations so the first master is meaningful.
+    root = solve_nlp(work, multistart=nlp_multistart, rng=rng)
+    stats.merge(root.stats)
+    if root.status is Status.INFEASIBLE:
+        # The continuous relaxation is infeasible => the MINLP is infeasible
+        # (for convex models; NLP multistart covers solver failures).
+        stats.wall_time = timer.stop()
+        return Solution(Status.INFEASIBLE, stats=stats, message="NLP relaxation infeasible")
+
+    master = _linear_master(work)
+    cut_counter = itertools.count()
+    for con in nonlin:
+        name, body, lb, ub = _cut_for(con, root.values, f"oa{next(cut_counter)}")
+        master.add_constraint(name, body, lb, ub)
+        stats.cuts_added += 1
+
+    def lazy(master_prob: Problem, values: dict[str, float]):
+        cuts: list[tuple[str, Expr, float, float]] = []
+        candidate = None
+
+        sub = _solve_fixed_subproblem(
+            work, values, nlp_multistart=nlp_multistart, rng=rng
+        )
+        stats.nlp_solves += sub.stats.nlp_solves
+        if sub.status.is_ok:
+            cand_values = dict(sub.values)
+            cand_obj = problem.objective_value(cand_values)
+            if has_eta:
+                cand_values[_OBJ_VAR] = cand_obj
+            candidate = (cand_values, cand_obj)
+            for con in nonlin:
+                cuts.append(_cut_for(con, sub.values, f"oa{next(cut_counter)}"))
+
+        # Guarantee progress: if the master point itself violates any true
+        # nonlinear constraint, linearizing there cuts it off (convexity:
+        # the cut equals g at the expansion point).  Without this, a failed
+        # NLP subproblem could let an infeasible point be accepted.
+        violated = [c for c in nonlin if c.violation(values) > feas_tol]
+        for con in violated:
+            cuts.append(_cut_for(con, values, f"oa{next(cut_counter)}"))
+        if violated and candidate is None and sub.status is Status.INFEASIBLE:
+            pass  # feasibility cuts above already exclude this assignment's point
+        return cuts, candidate
+
+    engine = BranchAndBound(master, "lp", opts, lazy_cuts=lazy)
+    sol = engine.solve()
+    stats.merge(sol.stats)
+    stats.wall_time = timer.stop()
+    sol.stats = stats
+    return _strip_eta(sol, problem, has_eta)
+
+
+def _strip_eta(sol: Solution, original: Problem, has_eta: bool) -> Solution:
+    if sol.status.is_ok:
+        values = {k: v for k, v in sol.values.items() if k != _OBJ_VAR}
+        sol.values = values
+        sol.objective = original.objective_value(values)
+    return sol
+
+
+def solve_minlp_oa_multitree(
+    problem: Problem,
+    options: BnBOptions | None = None,
+    *,
+    max_rounds: int = 50,
+    feas_tol: float = 1e-6,
+    gap_tol: float = 1e-6,
+    nlp_multistart: int = 1,
+    rng: np.random.Generator | None = None,
+) -> Solution:
+    """Solve a convex MINLP by alternating MILP masters and NLP subproblems.
+
+    Kept as an algorithmic cross-check for :func:`solve_minlp_oa`; both must
+    agree on convex instances (a test enforces this).
+    """
+    opts = options or BnBOptions()
+    work, has_eta = _epigraph_form(problem)
+    _check_convex_form(work)
+    nonlin = work.nonlinear_constraints()
+    if not nonlin:
+        return _strip_eta(solve_milp(work, opts), problem, has_eta)
+
+    sign = -1.0 if problem.sense is Sense.MAXIMIZE else 1.0
+    stats = SolveStats()
+    timer = Timer().start()
+
+    root = solve_nlp(work, multistart=nlp_multistart, rng=rng)
+    stats.merge(root.stats)
+    if root.status is Status.INFEASIBLE:
+        stats.wall_time = timer.stop()
+        return Solution(Status.INFEASIBLE, stats=stats, message="NLP relaxation infeasible")
+
+    master = _linear_master(work)
+    cut_counter = itertools.count()
+
+    def add_cuts_at(point: dict[str, float]) -> None:
+        for con in nonlin:
+            name, body, lb, ub = _cut_for(con, point, f"oa{next(cut_counter)}")
+            master.add_constraint(name, body, lb, ub)
+            stats.cuts_added += 1
+
+    add_cuts_at(root.values)
+
+    best: Solution | None = None
+    best_signed = math.inf
+    lower_signed = -math.inf
+    status = Status.ITERATION_LIMIT
+
+    for _ in range(max_rounds):
+        msol = solve_milp(master, opts)
+        stats.lp_solves += msol.stats.lp_solves
+        stats.nodes_explored += msol.stats.nodes_explored
+        if msol.status is Status.INFEASIBLE:
+            status = Status.OPTIMAL if best is not None else Status.INFEASIBLE
+            break
+        if not msol.status.is_ok:
+            status = msol.status
+            break
+        lower_signed = max(lower_signed, sign * msol.objective)
+        if best is not None and lower_signed >= best_signed - gap_tol:
+            status = Status.OPTIMAL
+            break
+
+        sub = _solve_fixed_subproblem(
+            work, msol.values, nlp_multistart=nlp_multistart, rng=rng
+        )
+        stats.merge(sub.stats)
+        if sub.status.is_ok:
+            obj = problem.objective_value(sub.values)
+            if sign * obj < best_signed:
+                best_signed = sign * obj
+                values = dict(sub.values)
+                if has_eta:
+                    values[_OBJ_VAR] = obj
+                best = Solution(Status.FEASIBLE, values=values, objective=obj)
+                stats.incumbent_updates += 1
+            add_cuts_at(sub.values)
+        else:
+            # Infeasible integer assignment: cut off the master point.
+            add_cuts_at(msol.values)
+        # Integer no-good is implied by the new cuts for convex models; the
+        # epsilon below keeps the master from returning the same assignment
+        # with an unchanged bound forever on degenerate instances.
+        if best is not None and abs(lower_signed - best_signed) <= gap_tol:
+            status = Status.OPTIMAL
+            break
+
+    stats.wall_time = timer.stop()
+    if best is None:
+        return Solution(
+            status if status is Status.INFEASIBLE else Status.ERROR,
+            stats=stats,
+            message="multi-tree OA found no feasible point",
+        )
+    best.status = Status.OPTIMAL if status is Status.OPTIMAL else Status.FEASIBLE
+    best.bound = sign * max(
+        lower_signed, -math.inf
+    ) if math.isfinite(lower_signed) else best.objective
+    best.stats = stats
+    return _strip_eta(best, problem, has_eta)

@@ -1,0 +1,78 @@
+"""Solver results: status codes, solutions, and search statistics."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Status(enum.Enum):
+    """Termination status shared by every solver in the toolkit."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+    TIME_LIMIT = "time_limit"
+    NODE_LIMIT = "node_limit"
+    FEASIBLE = "feasible"  # a feasible incumbent exists but optimality unproven
+    ERROR = "error"
+
+    @property
+    def is_ok(self) -> bool:
+        """True when a usable point is attached (optimal or merely feasible)."""
+        return self in (Status.OPTIMAL, Status.FEASIBLE)
+
+
+@dataclass
+class SolveStats:
+    """Search statistics reported by tree-search solvers."""
+
+    nodes_explored: int = 0
+    nodes_pruned: int = 0
+    nlp_solves: int = 0
+    lp_solves: int = 0
+    cuts_added: int = 0
+    incumbent_updates: int = 0
+    wall_time: float = 0.0
+
+    def merge(self, other: "SolveStats") -> None:
+        """Accumulate another phase's statistics into this one."""
+        self.nodes_explored += other.nodes_explored
+        self.nodes_pruned += other.nodes_pruned
+        self.nlp_solves += other.nlp_solves
+        self.lp_solves += other.lp_solves
+        self.cuts_added += other.cuts_added
+        self.incumbent_updates += other.incumbent_updates
+        self.wall_time += other.wall_time
+
+
+@dataclass
+class Solution:
+    """A solver outcome: status, best point, objective, bound, statistics."""
+
+    status: Status
+    values: dict[str, float] = field(default_factory=dict)
+    objective: float = float("nan")
+    bound: float = float("-inf")
+    stats: SolveStats = field(default_factory=SolveStats)
+    message: str = ""
+
+    @property
+    def gap(self) -> float:
+        """Relative optimality gap between incumbent and bound (0 if proven)."""
+        if self.status is Status.OPTIMAL:
+            return 0.0
+        if not self.status.is_ok:
+            return float("inf")
+        denom = max(1.0, abs(self.objective))
+        return abs(self.objective - self.bound) / denom
+
+    def __getitem__(self, name: str) -> float:
+        return self.values[name]
+
+    def require_ok(self) -> "Solution":
+        """Return self, raising if no usable point was found."""
+        if not self.status.is_ok:
+            raise RuntimeError(f"solve failed: {self.status.value} ({self.message})")
+        return self

@@ -1,0 +1,173 @@
+"""Benchmark-observation containers (the ``(n_ji, y_ji)`` of Table II).
+
+The gather step of HSLB produces, for each component ``j``, a set of
+``D_j`` observations of wall-clock time at different node counts.  These
+containers keep them tidy, validated, and easy to turn into fitting arrays.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ScalingObservation:
+    """One benchmark run: component time ``seconds`` on ``nodes`` nodes."""
+
+    nodes: int
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if int(self.nodes) != self.nodes or self.nodes < 1:
+            raise ValueError(f"nodes must be a positive integer, got {self.nodes!r}")
+        check_positive("seconds", self.seconds)
+
+
+class ComponentBenchmark:
+    """All observations for one component, ordered by node count."""
+
+    def __init__(
+        self,
+        component: str,
+        observations: Iterable[ScalingObservation] = (),
+    ) -> None:
+        if not component:
+            raise ValueError("component name must be non-empty")
+        self.component = component
+        self._obs: list[ScalingObservation] = []
+        for obs in observations:
+            self.add(obs)
+
+    def add(self, obs: ScalingObservation) -> None:
+        """Append an observation (replicates at the same node count are fine)."""
+        if not isinstance(obs, ScalingObservation):
+            raise TypeError(f"expected ScalingObservation, got {type(obs).__name__}")
+        self._obs.append(obs)
+        self._obs.sort(key=lambda o: (o.nodes, o.seconds))
+
+    @classmethod
+    def from_pairs(
+        cls, component: str, pairs: Iterable[tuple[int, float]]
+    ) -> "ComponentBenchmark":
+        return cls(component, (ScalingObservation(n, t) for n, t in pairs))
+
+    # -- views ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._obs)
+
+    def __iter__(self) -> Iterator[ScalingObservation]:
+        return iter(self._obs)
+
+    @property
+    def nodes(self) -> np.ndarray:
+        return np.array([o.nodes for o in self._obs], dtype=float)
+
+    @property
+    def seconds(self) -> np.ndarray:
+        return np.array([o.seconds for o in self._obs], dtype=float)
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The fitting arrays ``(n, y)``."""
+        return self.nodes, self.seconds
+
+    @property
+    def node_range(self) -> tuple[int, int]:
+        if not self._obs:
+            raise ValueError(f"no observations for {self.component}")
+        return int(self._obs[0].nodes), int(self._obs[-1].nodes)
+
+    def covers(self, nodes: float) -> bool:
+        """True when predictions at ``nodes`` would be interpolation.
+
+        §III-C argues benchmarks should bracket the target so the fitted
+        curve is interpolated, not extrapolated.
+        """
+        lo, hi = self.node_range
+        return lo <= nodes <= hi
+
+    def aggregate(self) -> list[tuple[int, float, float, int]]:
+        """Group replicates by node count: ``(nodes, mean, std, count)`` rows.
+
+        ``std`` is the sample standard deviation (ddof=1), 0.0 for single
+        observations.  Feeds the variance-weighted fitting path.
+        """
+        by_nodes: dict[int, list[float]] = {}
+        for obs in self._obs:
+            by_nodes.setdefault(int(obs.nodes), []).append(float(obs.seconds))
+        out = []
+        for nodes in sorted(by_nodes):
+            ys = np.array(by_nodes[nodes])
+            std = float(ys.std(ddof=1)) if ys.size > 1 else 0.0
+            out.append((nodes, float(ys.mean()), std, int(ys.size)))
+        return out
+
+    def relative_noise(self) -> float:
+        """Pooled relative run-to-run scatter across replicated node counts.
+
+        Returns 0.0 when no node count has replicates — callers fall back
+        to unweighted fitting then.
+        """
+        ratios = [
+            std / mean
+            for _, mean, std, count in self.aggregate()
+            if count > 1 and mean > 0
+        ]
+        return float(np.sqrt(np.mean(np.square(ratios)))) if ratios else 0.0
+
+    def merged_with(self, other: "ComponentBenchmark") -> "ComponentBenchmark":
+        if other.component != self.component:
+            raise ValueError(
+                f"cannot merge {other.component!r} into {self.component!r}"
+            )
+        return ComponentBenchmark(self.component, list(self._obs) + list(other._obs))
+
+    def __repr__(self) -> str:
+        return f"<ComponentBenchmark {self.component!r}: {len(self)} points>"
+
+
+class BenchmarkSuite(Mapping[str, ComponentBenchmark]):
+    """The full gather-step output: one :class:`ComponentBenchmark` per component."""
+
+    def __init__(self, benchmarks: Iterable[ComponentBenchmark] = ()) -> None:
+        self._by_component: dict[str, ComponentBenchmark] = {}
+        for bench in benchmarks:
+            self.add(bench)
+
+    def add(self, bench: ComponentBenchmark) -> None:
+        if bench.component in self._by_component:
+            self._by_component[bench.component] = self._by_component[
+                bench.component
+            ].merged_with(bench)
+        else:
+            self._by_component[bench.component] = bench
+
+    def __getitem__(self, component: str) -> ComponentBenchmark:
+        return self._by_component[component]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._by_component)
+
+    def __len__(self) -> int:
+        return len(self._by_component)
+
+    @property
+    def components(self) -> tuple[str, ...]:
+        return tuple(self._by_component)
+
+    def min_points(self) -> int:
+        """Smallest per-component observation count (fit-quality guardrail)."""
+        if not self._by_component:
+            return 0
+        return min(len(b) for b in self._by_component.values())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}:{len(b)}" for name, b in self._by_component.items()
+        )
+        return f"<BenchmarkSuite {inner}>"

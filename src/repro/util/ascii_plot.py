@@ -1,0 +1,90 @@
+"""ASCII line/scatter plots for figure reproduction in a terminal.
+
+The paper's figures are log-log scaling plots; the benchmark harness
+regenerates their *data*, and this module renders it as text so
+``benchmarks/out/*.txt`` contains an actual picture of each figure, not
+just its numbers.  Multiple series share one canvas, each with its own
+marker; axes can be linear or logarithmic.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def _transform(values: Sequence[float], log: bool) -> list[float]:
+    if not log:
+        return [float(v) for v in values]
+    out = []
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"log axis requires positive values, got {v}")
+        out.append(math.log10(float(v)))
+    return out
+
+
+def ascii_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series on one ASCII canvas.
+
+    Returns the chart as a string: title, y-range annotations, the canvas,
+    the x-range, and a marker legend.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 16 or height < 6:
+        raise ValueError("canvas too small to be legible")
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: x/y length mismatch")
+        if not xs:
+            raise ValueError(f"series {name!r} is empty")
+
+    tx = {n: _transform(xy[0], log_x) for n, xy in series.items()}
+    ty = {n: _transform(xy[1], log_y) for n, xy in series.items()}
+    x_min = min(min(v) for v in tx.values())
+    x_max = max(max(v) for v in tx.values())
+    y_min = min(min(v) for v in ty.values())
+    y_max = max(max(v) for v in ty.values())
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, name in enumerate(series):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for px, py in zip(tx[name], ty[name]):
+            col = int(round((px - x_min) / x_span * (width - 1)))
+            row = int(round((py - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    raw_y_max = max(max(xy[1]) for xy in series.values())
+    raw_y_min = min(min(xy[1]) for xy in series.values())
+    raw_x_max = max(max(xy[0]) for xy in series.values())
+    raw_x_min = min(min(xy[0]) for xy in series.values())
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label}: {raw_y_min:g} .. {raw_y_max:g}"
+                 + (" (log)" if log_y else ""))
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"{x_label}: {raw_x_min:g} .. {raw_x_max:g}"
+                 + (" (log)" if log_x else ""))
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

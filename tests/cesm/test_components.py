@@ -1,0 +1,103 @@
+"""Tests for CESM component ground truth and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.cesm.components import (
+    COMPONENTS,
+    GroundTruthComponent,
+    eighth_degree_ground_truth,
+    one_degree_ground_truth,
+)
+from repro.perf.model import PerformanceModel
+from repro.util.rng import default_rng
+
+
+def test_component_registry():
+    assert COMPONENTS == ("lnd", "ice", "atm", "ocn")
+
+
+def test_unknown_component_rejected():
+    with pytest.raises(ValueError, match="unknown"):
+        GroundTruthComponent("warp", PerformanceModel(a=1.0))
+
+
+def test_sensitivity_requires_sweet_spots():
+    with pytest.raises(ValueError, match="sweet-spot"):
+        GroundTruthComponent(
+            "ocn", PerformanceModel(a=1.0), decomposition_sensitivity=0.2
+        )
+
+
+# --- calibration spot checks against Table III -----------------------------
+
+
+@pytest.mark.parametrize(
+    "comp,nodes,expected,rel",
+    [
+        ("atm", 104, 306.95, 0.03),   # 1deg manual column
+        ("atm", 1664, 61.99, 0.05),
+        ("ocn", 24, 362.67, 0.03),
+        ("lnd", 24, 63.77, 0.03),
+        ("lnd", 384, 5.78, 0.10),
+        ("ice", 80, 109.05, 0.06),
+        ("ice", 1280, 17.91, 0.06),
+    ],
+)
+def test_one_degree_calibration(comp, nodes, expected, rel):
+    truth = one_degree_ground_truth()
+    assert truth[comp].true_time(nodes) == pytest.approx(expected, rel=rel)
+
+
+@pytest.mark.parametrize(
+    "comp,nodes,expected,rel",
+    [
+        ("atm", 5836, 2533.76, 0.03),
+        ("atm", 26644, 787.48, 0.03),
+        ("ocn", 2356, 3785.33, 0.02),
+        ("ocn", 6124, 1645.01, 0.02),
+        ("ice", 5350, 475.61, 0.04),
+        ("ice", 24424, 214.20, 0.04),
+        ("lnd", 486, 147.40, 0.04),
+        ("lnd", 2220, 44.23, 0.04),
+    ],
+)
+def test_eighth_degree_calibration(comp, nodes, expected, rel):
+    truth = eighth_degree_ground_truth()
+    assert truth[comp].true_time(nodes) == pytest.approx(expected, rel=rel)
+
+
+def test_decomposition_penalty_on_sweet_spot_is_one():
+    ocn = eighth_degree_ground_truth()["ocn"]
+    for n in ocn.sweet_spots:
+        assert ocn.decomposition_penalty(n) == 1.0
+
+
+def test_decomposition_penalty_off_sweet_spot_bounded_and_deterministic():
+    ocn = eighth_degree_ground_truth()["ocn"]
+    p1 = ocn.decomposition_penalty(11880)
+    p2 = ocn.decomposition_penalty(11880)
+    assert p1 == p2  # same count -> same decomposition
+    assert 1.0 <= p1 <= 1.0 + ocn.decomposition_sensitivity
+    # Different counts sample different penalties somewhere in the range.
+    penalties = {ocn.decomposition_penalty(n) for n in range(9000, 9050)}
+    assert len(penalties) > 10
+
+
+def test_ice_noisier_than_atm():
+    truth = one_degree_ground_truth()
+    assert truth["ice"].noise > truth["atm"].noise
+
+
+def test_sample_time_jitter_statistics(rng):
+    atm = one_degree_ground_truth()["atm"]
+    samples = np.array([atm.sample_time(104, rng) for _ in range(300)])
+    base = atm.true_time(104)
+    assert abs(samples.mean() / base - 1.0) < 0.01
+    assert 0.005 < samples.std() / base < 0.04
+
+
+def test_zero_noise_is_deterministic():
+    comp = GroundTruthComponent("atm", PerformanceModel(a=100.0, d=1.0), noise=0.0)
+    rng = default_rng(0)
+    assert comp.sample_time(10, rng) == comp.true_time(10)

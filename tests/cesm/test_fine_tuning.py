@@ -1,0 +1,116 @@
+"""Tests for the fine-tuning extension: RTM and CPL7 join the model (§II/§V).
+
+The paper excludes the river model and the coupler "because the contribution
+to the total time is small, but they can be added later for fine tuning the
+work load balance" — this extension does exactly that: rtm rides the land
+nodes, cpl the atmosphere nodes, both appear in the benchmark data, the fits,
+the MINLP, and the makespan.
+"""
+
+import pytest
+
+from repro.cesm.app import CESMApplication
+from repro.cesm.components import one_degree_minor_ground_truth
+from repro.cesm.grids import one_degree
+from repro.cesm.layouts import MINOR_HOSTS, Layout, layout_total_time
+from repro.cesm.simulator import CESMSimulator
+from repro.core.hslb import HSLBOptimizer
+from repro.core.spec import Allocation
+from repro.util.rng import default_rng
+
+ALLOC = Allocation({"lnd": 24, "ice": 80, "atm": 104, "ocn": 24})
+CAMPAIGN = [32, 64, 128, 512, 2048]
+
+
+def test_minor_hosts_mapping():
+    assert MINOR_HOSTS == {"rtm": "lnd", "cpl": "atm"}
+
+
+def test_minor_ground_truth_is_small():
+    minors = one_degree_minor_ground_truth()
+    # "take less time to run compared to the other components": a few
+    # percent of the 1deg/128 makespan (~420 s) at typical node counts.
+    assert minors["rtm"].true_time(24) < 0.05 * 420
+    assert minors["cpl"].true_time(104) < 0.05 * 420
+
+
+def test_simulator_requires_calibration_for_minor_mode():
+    from dataclasses import replace
+
+    cfg = replace(one_degree(), minor_ground_truth={})
+    with pytest.raises(ValueError, match="no minor-component calibration"):
+        CESMSimulator(cfg, include_minor=True)
+
+
+def test_layout_total_time_extends_with_minors():
+    times = {"ice": 5.0, "lnd": 3.0, "atm": 20.0, "ocn": 24.0}
+    base = layout_total_time(Layout.HYBRID, times)
+    extended = layout_total_time(
+        Layout.HYBRID, {**times, "rtm": 4.0, "cpl": 2.0}
+    )
+    # lnd+rtm = 7 > ice = 5; makespan = 7 + 20 + 2 = 29 > max(5+20, 24) = 25.
+    assert base == 25.0
+    assert extended == 29.0
+
+
+def test_execute_minor_mode_reports_six_components(rng):
+    sim = CESMSimulator(one_degree(), include_minor=True)
+    result = sim.execute(ALLOC, rng)
+    assert set(result.component_times) == {"lnd", "ice", "atm", "ocn", "rtm", "cpl"}
+    assert result.total_time == pytest.approx(
+        layout_total_time(Layout.HYBRID, result.component_times)
+    )
+    # Minor mode total >= base mode total for the same allocation/seed.
+    base = CESMSimulator(one_degree()).execute(ALLOC, default_rng(5))
+    extended = CESMSimulator(one_degree(), include_minor=True).execute(
+        ALLOC, default_rng(5)
+    )
+    assert extended.total_time >= base.total_time
+
+
+def test_benchmark_minor_mode_records_minor_curves(rng):
+    sim = CESMSimulator(one_degree(), include_minor=True)
+    suite = sim.benchmark([64, 128, 512], rng, probe_extremes=False)
+    assert {"rtm", "cpl"} <= set(suite.components)
+    # rtm is keyed by the LAND node counts of the runs.
+    lnd_nodes = set(int(n) for n in suite["lnd"].nodes)
+    rtm_nodes = set(int(n) for n in suite["rtm"].nodes)
+    assert rtm_nodes == lnd_nodes
+
+
+def test_full_pipeline_fine_tuning(rng):
+    app = CESMApplication(one_degree(), include_minor_components=True)
+    assert app.component_names == ("lnd", "ice", "atm", "ocn", "rtm", "cpl")
+    result = HSLBOptimizer(app).run(CAMPAIGN, 128, rng)
+    assert {"rtm", "cpl"} <= set(result.predicted_times)
+    assert {"rtm", "cpl"} <= set(result.fits)
+    # Minor fits are good too.
+    assert result.fits["cpl"].r_squared > 0.95
+    # Prediction still tracks execution.
+    assert result.prediction_error < 0.10
+
+
+def test_fine_tuning_total_exceeds_base_model():
+    """The 6-component model predicts a (slightly) larger makespan than the
+    4-component model — the few percent the paper chose to ignore."""
+    rng_a, rng_b = default_rng(42), default_rng(42)
+    base = HSLBOptimizer(CESMApplication(one_degree())).run(CAMPAIGN, 128, rng_a)
+    fine = HSLBOptimizer(
+        CESMApplication(one_degree(), include_minor_components=True)
+    ).run(CAMPAIGN, 128, rng_b)
+    assert fine.predicted_total > base.predicted_total
+    assert fine.predicted_total < base.predicted_total * 1.10  # "small"
+
+
+def test_formulate_rejects_unknown_minor():
+    from repro.cesm.layouts import formulate_layout
+    from repro.perf.model import PerformanceModel
+
+    models = {
+        c: PerformanceModel(a=100.0, d=1.0) for c in ("lnd", "ice", "atm", "ocn")
+    }
+    with pytest.raises(ValueError, match="unknown minor"):
+        formulate_layout(
+            models, 64, one_degree(),
+            minor_models={"esp": PerformanceModel(a=1.0)},
+        )

@@ -1,0 +1,103 @@
+"""Tests for CESM configurations and admissible node sets."""
+
+import pytest
+
+from repro.cesm.grids import (
+    EIGHTH_DEGREE_OCEAN_SPOTS,
+    INTREPID_NODES,
+    eighth_degree,
+    one_degree,
+)
+from repro.core.builder import DiscreteNodeSet
+
+
+def test_intrepid_size_matches_paper():
+    # "40,960 quad-core processors" (§I) used as nodes.
+    assert INTREPID_NODES == 40960
+
+
+def test_one_degree_ocean_set_shape():
+    cfg = one_degree()
+    values = cfg.ocean_allowed.values
+    assert values[0] == 2
+    assert 480 in values
+    assert 768 in values
+    assert values[-1] == 768
+    assert all(v % 2 == 0 for v in values)
+    # {2,4,...,480} has 240 members, plus 768.
+    assert len(values) == 241
+
+
+def test_one_degree_atm_set_shape():
+    cfg = one_degree()
+    a = cfg.atm_allowed
+    assert 1 in a and 1638 in a and 1664 in a
+    assert 1650 not in a
+    assert len(a) == 1639
+    # Exactly two runs: [1,1638] and [1664,1664].
+    assert a.runs() == [(1, 1638), (1664, 1664)]
+
+
+def test_eighth_degree_constrained_ocean():
+    cfg = eighth_degree()
+    assert cfg.ocean_allowed.values == tuple(sorted(EIGHTH_DEGREE_OCEAN_SPOTS))
+    assert cfg.ocean_values_upto(8192) == (480, 512, 2356, 3136, 4564, 6124)
+
+
+def test_eighth_degree_unconstrained_ocean():
+    cfg = eighth_degree(constrained_ocean=False)
+    assert cfg.ocean_allowed is None
+    vals = cfg.ocean_values_upto(1000)
+    assert vals[0] == cfg.component_min_nodes("ocn")
+    assert vals[-1] == 1000
+
+
+def test_min_nodes_defaults():
+    cfg = one_degree()
+    assert cfg.component_min_nodes("ocn") == 2
+    assert cfg.component_min_nodes("lnd") == 1
+
+
+# --- DiscreteNodeSet itself -------------------------------------------------
+
+
+def test_discrete_set_sorted_dedup():
+    s = DiscreteNodeSet((4, 2, 4, 8))
+    assert s.values == (2, 4, 8)
+    assert s.min == 2 and s.max == 8
+    assert len(s) == 3
+
+
+def test_discrete_set_validation():
+    with pytest.raises(ValueError):
+        DiscreteNodeSet(())
+    with pytest.raises(ValueError):
+        DiscreteNodeSet((0, 1))
+
+
+def test_runs_decomposition():
+    s = DiscreteNodeSet((1, 2, 3, 7, 8, 12))
+    assert s.runs() == [(1, 3), (7, 8), (12, 12)]
+
+
+def test_runs_single_contiguous():
+    assert DiscreteNodeSet.contiguous(5, 9).runs() == [(5, 9)]
+
+
+def test_even_range_runs_are_singletons():
+    s = DiscreteNodeSet.even_range(2, 10)
+    assert s.runs() == [(2, 2), (4, 4), (6, 6), (8, 8), (10, 10)]
+
+
+def test_nearest_and_below():
+    s = DiscreteNodeSet((4, 16, 64))
+    assert s.nearest(20) == 16
+    assert s.nearest(40) == 16  # tie 16/64? |40-16|=24,|40-64|=24 -> smaller
+    assert s.below(60) == 16
+    assert s.below(3) == 4  # nothing below: smallest member
+    assert s.below(64) == 64
+
+
+def test_contains():
+    s = DiscreteNodeSet.even_range(2, 8)
+    assert 4 in s and 5 not in s

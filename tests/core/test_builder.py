@@ -1,0 +1,129 @@
+"""Tests for the allocation-model builder."""
+
+import pytest
+
+from repro.core.builder import AllocationModelBuilder, DiscreteNodeSet
+from repro.core.objectives import Objective
+from repro.minlp import solve
+from repro.minlp.brute import solve_brute_force
+from repro.minlp.problem import Domain
+from repro.perf.model import PerformanceModel
+
+M1 = PerformanceModel(a=100.0, d=2.0)
+M2 = PerformanceModel(a=60.0, d=1.0)
+
+
+def test_total_nodes_validation():
+    with pytest.raises(ValueError):
+        AllocationModelBuilder("x", 0)
+
+
+def test_plain_integer_component():
+    b = AllocationModelBuilder("x", 16)
+    n = b.add_component("a", M1)
+    p = b.model.build()
+    var = p.variable("n_a")
+    assert var.domain is Domain.INTEGER
+    assert var.lb == 1.0 and var.ub == 16.0
+
+
+def test_duplicate_component_rejected():
+    b = AllocationModelBuilder("x", 16)
+    b.add_component("a", M1)
+    with pytest.raises(ValueError, match="duplicate"):
+        b.add_component("a", M2)
+
+
+def test_min_max_nodes_respected():
+    b = AllocationModelBuilder("x", 64)
+    b.add_component("a", M1, min_nodes=4, max_nodes=32)
+    var = b.model.build().variable("n_a")
+    assert var.lb == 4.0 and var.ub == 32.0
+
+
+def test_contiguous_allowed_set_needs_no_binaries():
+    b = AllocationModelBuilder("x", 64)
+    b.add_component("a", M1, allowed=DiscreteNodeSet.contiguous(2, 20))
+    p = b.model.build()
+    assert p.num_variables == 1
+    assert not p.sos1_sets
+
+
+def test_gappy_allowed_set_builds_sos():
+    b = AllocationModelBuilder("x", 64)
+    b.add_component("a", M1, allowed=DiscreteNodeSet((2, 4, 8, 16)))
+    p = b.model.build()
+    assert "sos_a" in {s.name for s in p.sos1_sets}
+    assert sum(1 for v in p.variables if v.name.startswith("z_a")) == 4
+
+
+def test_allowed_set_trimmed_by_machine():
+    b = AllocationModelBuilder("x", 10)
+    b.add_component("a", M1, allowed=DiscreteNodeSet((2, 4, 8, 16, 32)))
+    p = b.model.build()
+    # 16 and 32 exceed the machine; 3 usable values remain.
+    assert sum(1 for v in p.variables if v.name.startswith("z_a")) == 3
+    assert p.variable("n_a").ub == 8.0
+
+
+def test_allowed_set_empty_after_trim_rejected():
+    b = AllocationModelBuilder("x", 4)
+    with pytest.raises(ValueError, match="no admissible"):
+        b.add_component("a", M1, allowed=DiscreteNodeSet((8, 16)))
+
+
+def test_sos_set_enforced_in_solve():
+    b = AllocationModelBuilder("x", 64)
+    b.add_component("a", M1, allowed=DiscreteNodeSet((2, 5, 11, 23)))
+    b.limit_total_nodes()
+    b.set_objective(Objective.MIN_MAX)
+    sol = solve(b.build()).require_ok()
+    assert round(sol.values["n_a"]) in (2, 5, 11, 23)
+    # More nodes help a decreasing curve: the largest admissible value wins.
+    assert round(sol.values["n_a"]) == 23
+
+
+def test_solution_matches_brute_force_on_sos_model():
+    b = AllocationModelBuilder("x", 24)
+    b.add_component("a", M1, allowed=DiscreteNodeSet((2, 6, 14)))
+    b.add_component("b", M2)
+    b.limit_total_nodes()
+    b.set_objective(Objective.MIN_MAX)
+    p = b.build()
+    assert solve(p).require_ok().objective == pytest.approx(
+        solve_brute_force(p).objective, rel=1e-5
+    )
+
+
+def test_exact_budget_constraint():
+    b = AllocationModelBuilder("x", 12)
+    b.add_component("a", M1)
+    b.add_component("b", M2)
+    b.limit_total_nodes(exact=True)
+    b.set_objective(Objective.MIN_MAX)
+    sol = solve(b.build()).require_ok()
+    assert round(sol.values["n_a"] + sol.values["n_b"]) == 12
+
+
+def test_limit_total_nodes_requires_components():
+    b = AllocationModelBuilder("x", 8)
+    with pytest.raises(ValueError, match="no components"):
+        b.limit_total_nodes()
+
+
+def test_objective_installed_once():
+    b = AllocationModelBuilder("x", 8)
+    b.add_component("a", M1)
+    b.set_objective()
+    with pytest.raises(RuntimeError):
+        b.set_objective()
+
+
+def test_time_expr_and_views():
+    b = AllocationModelBuilder("x", 8)
+    b.add_component("a", M1)
+    assert b.components == ("a",)
+    assert b.perf_model("a") is M1
+    e = b.time_expr("a")
+    assert e.evaluate({"n_a": 4.0}) == pytest.approx(M1.time(4))
+    assert b.time_upper_bound() >= M1.time(1)

@@ -1,0 +1,94 @@
+"""The specialized greedy min-max allocator must agree with the MINLP route."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import AllocationModelBuilder
+from repro.core.greedy import greedy_minmax_allocation, minmax_lower_bound
+from repro.core.objectives import Objective
+from repro.minlp import solve
+from repro.perf.model import PerformanceModel
+
+
+def test_basic_allocation():
+    models = {
+        "big": PerformanceModel(a=1000.0, d=1.0),
+        "small": PerformanceModel(a=100.0, d=1.0),
+    }
+    alloc, makespan = greedy_minmax_allocation(models, 22)
+    assert alloc["big"] + alloc["small"] <= 22
+    assert alloc["big"] > alloc["small"]
+    # 10:1 work ratio -> roughly 10:1 nodes (20, 2).
+    assert alloc["big"] == pytest.approx(20, abs=1)
+    assert makespan == pytest.approx(
+        max(models[k].time(v) for k, v in alloc.items())
+    )
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="no components"):
+        greedy_minmax_allocation({}, 4)
+    with pytest.raises(ValueError, match="cannot give"):
+        greedy_minmax_allocation({"a": PerformanceModel(a=1.0)}, 0)
+
+
+def test_caps_at_curve_minimum():
+    # Curve minimum at n* = sqrt(100/0.1) ~ 31.6; granting more would slow it.
+    models = {"u": PerformanceModel(a=100.0, b=0.1, c=1.0, d=0.0)}
+    alloc, _ = greedy_minmax_allocation(models, 1000)
+    assert alloc["u"] <= 32
+
+
+def test_matches_minlp_small():
+    models = {
+        "a": PerformanceModel(a=100.0, d=2.0),
+        "b": PerformanceModel(a=60.0, d=1.0),
+        "c": PerformanceModel(a=250.0, d=3.0),
+    }
+    alloc, makespan = greedy_minmax_allocation(models, 30)
+    builder = AllocationModelBuilder("x", 30)
+    for name, m in models.items():
+        builder.add_component(name, m)
+    builder.limit_total_nodes()
+    builder.set_objective(Objective.MIN_MAX)
+    sol = solve(builder.build()).require_ok()
+    assert makespan == pytest.approx(sol.objective, rel=1e-6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seeds=st.lists(
+        st.tuples(st.floats(10.0, 2000.0), st.floats(0.0, 5.0)),
+        min_size=2,
+        max_size=4,
+    ),
+    budget=st.integers(8, 64),
+)
+def test_greedy_optimal_property(seeds, budget):
+    """Property: greedy equals the MINLP optimum on random decreasing curves."""
+    models = {
+        f"c{i}": PerformanceModel(a=a, d=d) for i, (a, d) in enumerate(seeds)
+    }
+    if budget < len(models):
+        budget = len(models)
+    alloc, makespan = greedy_minmax_allocation(models, budget)
+    builder = AllocationModelBuilder("x", budget)
+    for name, m in models.items():
+        builder.add_component(name, m)
+    builder.limit_total_nodes()
+    builder.set_objective(Objective.MIN_MAX)
+    sol = solve(builder.build()).require_ok()
+    assert makespan == pytest.approx(sol.objective, rel=1e-5, abs=1e-7)
+
+
+def test_lower_bound_below_greedy():
+    models = {
+        "a": PerformanceModel(a=100.0, d=2.0),
+        "b": PerformanceModel(a=60.0, b=0.05, c=1.0, d=1.0),
+    }
+    lb = minmax_lower_bound(models, 20)
+    _, makespan = greedy_minmax_allocation(models, 20)
+    assert lb <= makespan + 1e-9
+    # The continuous bound should be reasonably tight.
+    assert lb >= 0.7 * makespan

@@ -1,0 +1,96 @@
+"""Tests for allocation/application abstractions and the §III-D objectives."""
+
+import pytest
+
+from repro.core.objectives import Objective, apply_objective, evaluate_objective
+from repro.core.spec import Allocation, ExecutionResult
+from repro.minlp.modeling import Model
+from repro.minlp.nlp import solve_nlp
+from repro.minlp.problem import Sense
+
+
+def test_allocation_normalizes_to_int():
+    a = Allocation({"x": 3.0, "y": 4.2})
+    assert a["x"] == 3 and a["y"] == 4
+    assert isinstance(a["x"], int)
+
+
+def test_allocation_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        Allocation({"x": 0})
+
+
+def test_allocation_views():
+    a = Allocation({"x": 1, "y": 2})
+    assert a.components == ("x", "y")
+    assert a.total() == 3
+    assert dict(a.items()) == {"x": 1, "y": 2}
+    assert list(iter(a)) == ["x", "y"]
+    assert "Allocation" in repr(a)
+
+
+def test_execution_result_validation():
+    with pytest.raises(ValueError):
+        ExecutionResult({"x": -1.0}, 1.0)
+    with pytest.raises(ValueError):
+        ExecutionResult({"x": 1.0}, -1.0)
+    r = ExecutionResult({"x": 1.0}, 2.0, metadata={"k": 1})
+    assert r.metadata["k"] == 1
+
+
+# --- objectives ------------------------------------------------------------
+
+
+def _times_model():
+    m = Model("obj")
+    n1 = m.var("n1", 1, 10)
+    n2 = m.var("n2", 1, 10)
+    m.add(n1 + n2 <= 10)
+    exprs = {"a": 100.0 / n1 + 1.0, "b": 50.0 / n2 + 2.0}
+    return m, exprs
+
+
+def test_min_max_balances_components():
+    m, exprs = _times_model()
+    t = apply_objective(m, Objective.MIN_MAX, exprs, time_upper_bound=1e4)
+    assert t is not None
+    sol = solve_nlp(m.build())
+    ta = 100.0 / sol.values["n1"] + 1.0
+    tb = 50.0 / sol.values["n2"] + 2.0
+    assert sol.objective == pytest.approx(max(ta, tb), rel=1e-5)
+    assert ta == pytest.approx(tb, rel=1e-2)  # balanced at the optimum
+
+
+def test_max_min_sense():
+    m, exprs = _times_model()
+    apply_objective(m, Objective.MAX_MIN, exprs, time_upper_bound=1e4)
+    p = m.build()
+    assert p.sense is Sense.MAXIMIZE
+    names = {c.name for c in p.constraints}
+    assert "maxmin_a" in names and "maxmin_b" in names
+
+
+def test_min_sum_no_epigraph():
+    m, exprs = _times_model()
+    t = apply_objective(m, Objective.MIN_SUM, exprs, time_upper_bound=1e4)
+    assert t is None
+    sol = solve_nlp(m.build())
+    # min-sum puts nodes where the marginal gain is biggest, not where the
+    # max is; the sum should equal the objective.
+    total = (100.0 / sol.values["n1"] + 1.0) + (50.0 / sol.values["n2"] + 2.0)
+    assert sol.objective == pytest.approx(total, rel=1e-6)
+
+
+def test_apply_objective_validation():
+    m = Model()
+    with pytest.raises(ValueError, match="no component"):
+        apply_objective(m, Objective.MIN_MAX, {}, time_upper_bound=1.0)
+
+
+def test_evaluate_objective():
+    times = {"a": 3.0, "b": 7.0}
+    assert evaluate_objective(Objective.MIN_MAX, times) == 7.0
+    assert evaluate_objective(Objective.MAX_MIN, times) == 3.0
+    assert evaluate_objective(Objective.MIN_SUM, times) == 10.0
+    with pytest.raises(ValueError):
+        evaluate_objective(Objective.MIN_MAX, {})

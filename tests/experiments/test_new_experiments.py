@@ -1,0 +1,85 @@
+"""Unit tests for the prediction / robustness / extension experiment runners.
+
+Heavier end-to-end assertions live in the benchmark harness; these cover
+the result objects' logic at small sizes so the modules are unit-tested in
+isolation too.
+"""
+
+import pytest
+
+from repro.experiments.extensions import run_ice_decomposition, run_tasking_tuning
+from repro.experiments.predictions import (
+    run_component_swap_prediction,
+    run_job_size_prediction,
+)
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.robustness import (
+    NoiseSweepResult,
+    run_noise_sweep,
+    run_outlier_robustness,
+)
+
+
+def test_registry_includes_new_experiments():
+    assert {
+        "predict-job-size",
+        "predict-component-swap",
+        "robustness-noise",
+        "robustness-outliers",
+        "ext-ice-decomposition",
+        "ext-tasking",
+    } <= set(EXPERIMENTS)
+
+
+def test_job_size_prediction_small():
+    result = run_job_size_prediction(efficiency_floor=0.6)
+    rec = result.recommendation
+    assert rec.cost_efficient_nodes <= rec.shortest_time_nodes
+    assert rec.efficiency_floor == 0.6
+    assert "P1" in result.render()
+
+
+def test_component_swap_prediction_small():
+    result = run_component_swap_prediction()
+    assert len(result.baseline.node_counts) == len(result.swapped.node_counts)
+    assert result.improvement_at(0) > 0.0
+    assert "P2" in result.render()
+
+
+def test_noise_sweep_result_regret_math():
+    r = NoiseSweepResult(
+        noise_levels=(0.0, 0.1),
+        true_makespans=[100.0, 105.0],
+        reference_makespan=100.0,
+    )
+    assert r.regret() == pytest.approx([0.0, 0.05])
+    assert "R1" in r.render()
+
+
+def test_noise_sweep_reference_fallback():
+    result = run_noise_sweep(noise_levels=(0.02, 0.05), total_nodes=64)
+    # No zero-noise level: reference is the best observed, regret >= 0.
+    assert min(result.regret()) == pytest.approx(0.0)
+
+
+def test_outlier_robustness_small():
+    result = run_outlier_robustness(total_nodes=64, outlier_prob=0.15)
+    assert result.huber_prediction_error <= result.plain_prediction_error + 1e-9
+    assert "R2" in result.render()
+
+
+def test_ice_decomposition_runner_small():
+    result = run_ice_decomposition(node_counts=(24, 96, 384))
+    assert len(result.ml_multipliers) == 3
+    assert all(
+        m <= d + 1e-9
+        for m, d in zip(result.ml_multipliers, result.default_multipliers)
+    )
+    assert "E1" in result.render()
+
+
+def test_tasking_runner_small():
+    result = run_tasking_tuning(total_nodes=64)
+    assert result.tuned_total <= result.default_total * 1.05
+    assert set(result.policies) == {"lnd", "ice", "atm", "ocn"}
+    assert "E2" in result.render()

@@ -1,0 +1,146 @@
+"""Property-based tests over random expression trees.
+
+Strategy: build a random arithmetic program as *both* a plain-Python lambda
+and an :class:`Expr` tree, then check that evaluation, differentiation
+(against central differences), and the simplifying constructors all agree.
+This catches constructor-simplification bugs (constant folding, flattening)
+that targeted unit tests might miss.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.minlp.expr import Constant, VarRef, linearize
+
+VARS = ("x", "y")
+
+
+def _leaf(draw):
+    kind = draw(st.sampled_from(("var", "const")))
+    if kind == "var":
+        name = draw(st.sampled_from(VARS))
+        return VarRef(name), (lambda env, n=name: env[n])
+    value = draw(st.floats(-3.0, 3.0, allow_nan=False))
+    return Constant(value), (lambda env, v=value: v)
+
+
+def _tree(draw, depth):
+    if depth == 0:
+        return _leaf(draw)
+    op = draw(st.sampled_from(("add", "sub", "mul", "div", "pow", "leaf")))
+    if op == "leaf":
+        return _leaf(draw)
+    left_e, left_f = _tree(draw, depth - 1)
+    right_e, right_f = _tree(draw, depth - 1)
+    if op == "add":
+        return left_e + right_e, (lambda env: left_f(env) + right_f(env))
+    if op == "sub":
+        return left_e - right_e, (lambda env: left_f(env) - right_f(env))
+    if op == "mul":
+        return left_e * right_e, (lambda env: left_f(env) * right_f(env))
+    if op == "div":
+        # Guard the denominator away from zero with a positive offset.
+        den_e = right_e * right_e + 1.0
+        return left_e / den_e, (
+            lambda env: left_f(env) / (right_f(env) ** 2 + 1.0)
+        )
+    # pow: keep the base positive and the exponent a small constant.
+    exponent = draw(st.sampled_from((2.0, 3.0, 0.5)))
+    base_e = left_e * left_e + 0.5
+    return base_e**exponent, (
+        lambda env, p=exponent: (left_f(env) ** 2 + 0.5) ** p
+    )
+
+
+@st.composite
+def random_program(draw):
+    depth = draw(st.integers(1, 3))
+    return _tree(draw, depth)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    prog=random_program(),
+    x=st.floats(-2.0, 2.0, allow_nan=False),
+    y=st.floats(-2.0, 2.0, allow_nan=False),
+)
+def test_tree_evaluation_matches_reference(prog, x, y):
+    expr, ref = prog
+    env = {"x": x, "y": y}
+    expected = ref(env)
+    assume(math.isfinite(expected) and abs(expected) < 1e9)
+    got = expr.evaluate(env)
+    assert got == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    prog=random_program(),
+    x=st.floats(-1.5, 1.5, allow_nan=False),
+    y=st.floats(-1.5, 1.5, allow_nan=False),
+)
+def test_tree_derivative_matches_central_difference(prog, x, y):
+    expr, ref = prog
+    env = {"x": x, "y": y}
+    base = ref(env)
+    assume(math.isfinite(base) and abs(base) < 1e6)
+    h = 1e-5
+    for var in VARS:
+        up = dict(env)
+        dn = dict(env)
+        up[var] += h
+        dn[var] -= h
+        fd = (ref(up) - ref(dn)) / (2 * h)
+        assume(abs(fd) < 1e6)
+        sym = expr.diff(var).evaluate(env)
+        assert sym == pytest.approx(fd, rel=2e-3, abs=2e-4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    prog=random_program(),
+    x0=st.floats(-1.0, 1.0, allow_nan=False),
+    y0=st.floats(-1.0, 1.0, allow_nan=False),
+)
+def test_linearization_is_tangent_everywhere(prog, x0, y0):
+    """linearize(f, p) matches f's value and gradient at p for any tree."""
+    expr, ref = prog
+    point = {"x": x0, "y": y0}
+    value = ref(point)
+    assume(math.isfinite(value) and abs(value) < 1e6)
+    lin = linearize(expr, point)
+    assert lin.is_linear()
+    assert lin.evaluate(point) == pytest.approx(expr.evaluate(point), rel=1e-9, abs=1e-9)
+    for var in expr.variables():
+        g_lin = lin.diff(var).evaluate(point)
+        g_expr = expr.diff(var).evaluate(point)
+        assume(abs(g_expr) < 1e6)
+        assert g_lin == pytest.approx(g_expr, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(prog=random_program())
+def test_substitution_identity(prog):
+    """Substituting each variable with itself is a no-op (structural)."""
+    expr, _ = prog
+    mapping = {v: VarRef(v) for v in VARS}
+    assert expr.substitute(mapping) == expr
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    prog=random_program(),
+    x=st.floats(-1.5, 1.5, allow_nan=False),
+    y=st.floats(-1.5, 1.5, allow_nan=False),
+)
+def test_substitution_evaluates_like_composition(prog, x, y):
+    """Substituting y := x*x then evaluating equals evaluating with y=x^2."""
+    expr, ref = prog
+    sub = expr.substitute({"y": VarRef("x") * VarRef("x")})
+    env_direct = {"x": x, "y": x * x}
+    expected = ref(env_direct)
+    assume(math.isfinite(expected) and abs(expected) < 1e9)
+    assert sub.evaluate({"x": x}) == pytest.approx(expected, rel=1e-9, abs=1e-9)

@@ -1,0 +1,116 @@
+"""Tests for the LP layer (HiGHS backend)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.minlp.expr import VarRef
+from repro.minlp.linprog import LinearProgram, solve_lp, solve_problem_lp
+from repro.minlp.problem import Problem, Sense
+from repro.minlp.solution import Status
+
+X, Y = VarRef("x"), VarRef("y")
+
+
+def _lp(c, A, row_lb, row_ub, var_lb, var_ub, **kw):
+    return LinearProgram(
+        c=np.array(c, float),
+        A=np.array(A, float),
+        row_lb=np.array(row_lb, float),
+        row_ub=np.array(row_ub, float),
+        var_lb=np.array(var_lb, float),
+        var_ub=np.array(var_ub, float),
+        **kw,
+    )
+
+
+def test_simple_lp():
+    # min -x - y  s.t. x + y <= 4, x,y in [0, 3]
+    lp = _lp([-1, -1], [[1, 1]], [-math.inf], [4], [0, 0], [3, 3])
+    res = solve_lp(lp)
+    assert res.status is Status.OPTIMAL
+    assert res.objective == pytest.approx(-4.0)
+    assert res.x.sum() == pytest.approx(4.0)
+
+
+def test_equality_row():
+    lp = _lp([1, 2], [[1, 1]], [3], [3], [0, 0], [10, 10])
+    res = solve_lp(lp)
+    assert res.status is Status.OPTIMAL
+    np.testing.assert_allclose(res.x, [3.0, 0.0], atol=1e-8)
+
+
+def test_two_sided_row():
+    # min x s.t. 2 <= x + y <= 5, 0 <= x,y <= 10
+    lp = _lp([1, 0], [[1, 1]], [2], [5], [0, 0], [10, 10])
+    res = solve_lp(lp)
+    assert res.status is Status.OPTIMAL
+    assert res.objective == pytest.approx(0.0)
+    assert res.x[0] + res.x[1] >= 2 - 1e-8
+
+
+def test_infeasible():
+    lp = _lp([1], [[1]], [5], [math.inf], [0], [1])
+    assert solve_lp(lp).status is Status.INFEASIBLE
+
+
+def test_unbounded():
+    lp = _lp([-1], np.zeros((0, 1)), [], [], [0], [math.inf])
+    assert solve_lp(lp).status is Status.UNBOUNDED
+
+
+def test_constant_offset_carried():
+    lp = _lp([1], [[1]], [2], [math.inf], [0], [10], c0=7.0)
+    res = solve_lp(lp)
+    assert res.objective == pytest.approx(9.0)
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError, match="columns"):
+        _lp([1, 2], [[1]], [0], [1], [0, 0], [1, 1])
+    with pytest.raises(ValueError, match="row_lb"):
+        _lp([1], [[1]], [0, 1], [1], [0], [1])
+    with pytest.raises(ValueError, match="crossed"):
+        _lp([1], [[1]], [2], [1], [0], [1])
+
+
+def test_from_problem_minimize():
+    p = Problem()
+    p.add_variable("x", 0, 4)
+    p.add_variable("y", 0, 4)
+    p.add_constraint("c", X + 2 * Y, ub=6.0)
+    p.set_objective(-X - Y)
+    sol = solve_problem_lp(p)
+    assert sol.status is Status.OPTIMAL
+    assert sol.objective == pytest.approx(-5.0)  # x=4, y=1
+    assert sol.values["x"] == pytest.approx(4.0)
+
+
+def test_from_problem_maximize_sign_handling():
+    p = Problem()
+    p.add_variable("x", 0, 4)
+    p.add_constraint("c", X, ub=3.0)
+    p.set_objective(5 * X + 1, Sense.MAXIMIZE)
+    sol = solve_problem_lp(p)
+    assert sol.status is Status.OPTIMAL
+    assert sol.objective == pytest.approx(16.0)
+    assert sol.values["x"] == pytest.approx(3.0)
+
+
+def test_from_problem_constant_term_in_constraint():
+    # body (x + 1) <= 4 means x <= 3.
+    p = Problem()
+    p.add_variable("x", 0, 10)
+    p.add_constraint("c", X + 1, ub=4.0)
+    p.set_objective(-X)
+    sol = solve_problem_lp(p)
+    assert sol.values["x"] == pytest.approx(3.0)
+
+
+def test_lp_result_values_mapping():
+    lp = _lp([1, 1], [[1, 1]], [2], [2], [0, 0], [2, 2], names=("a", "b"))
+    res = solve_lp(lp)
+    vals = res.values(lp)
+    assert set(vals) == {"a", "b"}
+    assert vals["a"] + vals["b"] == pytest.approx(2.0)

@@ -1,0 +1,125 @@
+"""The pure-Python simplex must agree with HiGHS."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minlp.linprog import LinearProgram, solve_lp
+from repro.minlp.simplex import solve_lp_simplex
+from repro.minlp.solution import Status
+
+
+def _lp(c, A, row_lb, row_ub, var_lb, var_ub, **kw):
+    return LinearProgram(
+        c=np.array(c, float),
+        A=np.array(A, float) if np.size(A) else np.zeros((0, len(c))),
+        row_lb=np.array(row_lb, float),
+        row_ub=np.array(row_ub, float),
+        var_lb=np.array(var_lb, float),
+        var_ub=np.array(var_ub, float),
+        **kw,
+    )
+
+
+def _agree(lp, atol=1e-6):
+    ours = solve_lp_simplex(lp)
+    ref = solve_lp(lp)
+    assert ours.status is ref.status, (ours.message, ref.message)
+    if ref.status is Status.OPTIMAL:
+        assert ours.objective == pytest.approx(ref.objective, abs=atol)
+    return ours, ref
+
+
+def test_basic_agreement():
+    _agree(_lp([-1, -1], [[1, 1]], [-math.inf], [4], [0, 0], [3, 3]))
+
+
+def test_equality_agreement():
+    _agree(_lp([1, 2], [[1, 1]], [3], [3], [0, 0], [10, 10]))
+
+
+def test_two_sided_agreement():
+    _agree(_lp([1, -1], [[1, 1]], [2], [5], [0, 0], [10, 10]))
+
+
+def test_infeasible_agreement():
+    _agree(_lp([1], [[1]], [5], [math.inf], [0], [1]))
+
+
+def test_unbounded_detected():
+    lp = _lp([-1], [[0.0]], [-math.inf], [1.0], [0], [math.inf])
+    assert solve_lp_simplex(lp).status is Status.UNBOUNDED
+
+
+def test_free_variable_split():
+    # min x s.t. x >= -7 (free variable, negative optimum).
+    lp = _lp([1], [[1]], [-7], [math.inf], [-math.inf], [math.inf])
+    res = solve_lp_simplex(lp)
+    assert res.status is Status.OPTIMAL
+    assert res.objective == pytest.approx(-7.0)
+    assert res.x[0] == pytest.approx(-7.0)
+
+
+def test_mirror_variable_only_upper_bound():
+    # min -x with x <= 9 and a row keeping it feasible.
+    lp = _lp([-1], [[1]], [-math.inf], [9], [-math.inf], [9])
+    res = solve_lp_simplex(lp)
+    assert res.status is Status.OPTIMAL
+    assert res.objective == pytest.approx(-9.0)
+
+
+def test_shifted_lower_bound():
+    # min x with x >= 2.5 via variable bound only (no rows).
+    lp = _lp([1], np.zeros((0, 1)), [], [], [2.5], [7.0])
+    res = solve_lp_simplex(lp)
+    assert res.status is Status.OPTIMAL
+    assert res.x[0] == pytest.approx(2.5)
+
+
+def test_box_only_unbounded():
+    lp = _lp([-1], np.zeros((0, 1)), [], [], [0.0], [math.inf])
+    assert solve_lp_simplex(lp).status is Status.UNBOUNDED
+
+
+def test_degenerate_redundant_rows():
+    # Duplicate rows exercise the redundant-artificial path.
+    lp = _lp(
+        [1, 1],
+        [[1, 1], [1, 1], [2, 2]],
+        [2, 2, 4],
+        [2, 2, 4],
+        [0, 0],
+        [5, 5],
+    )
+    _agree(lp)
+
+
+def test_constant_offset():
+    lp = _lp([1], [[1]], [1], [math.inf], [0], [5], c0=3.0)
+    res = solve_lp_simplex(lp)
+    assert res.objective == pytest.approx(4.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_random_lps_agree_with_highs(data):
+    """Property: on random bounded LPs both backends agree on status/value."""
+    n = data.draw(st.integers(1, 4), label="n")
+    m = data.draw(st.integers(0, 4), label="m")
+    elem = st.floats(-5, 5, allow_nan=False, allow_infinity=False)
+    c = data.draw(st.lists(elem, min_size=n, max_size=n), label="c")
+    A = [
+        data.draw(st.lists(elem, min_size=n, max_size=n), label=f"row{i}")
+        for i in range(m)
+    ]
+    # Bounded box keeps everything finite so OPTIMAL/INFEASIBLE are the only
+    # possible outcomes.
+    var_lb = [0.0] * n
+    var_ub = [data.draw(st.floats(0.5, 10.0), label=f"ub{j}") for j in range(n)]
+    row_ub = [data.draw(st.floats(-2.0, 20.0), label=f"rub{i}") for i in range(m)]
+    row_lb = [-math.inf] * m
+    lp = _lp(c, A, row_lb, row_ub, var_lb, var_ub)
+    _agree(lp, atol=1e-5)

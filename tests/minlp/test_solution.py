@@ -1,0 +1,60 @@
+"""Tests for solver result containers."""
+
+import math
+
+import pytest
+
+from repro.minlp.solution import Solution, SolveStats, Status
+
+
+def test_status_is_ok():
+    assert Status.OPTIMAL.is_ok
+    assert Status.FEASIBLE.is_ok
+    for status in (
+        Status.INFEASIBLE,
+        Status.UNBOUNDED,
+        Status.ITERATION_LIMIT,
+        Status.TIME_LIMIT,
+        Status.NODE_LIMIT,
+        Status.ERROR,
+    ):
+        assert not status.is_ok
+
+
+def test_gap_proven_optimal_is_zero():
+    sol = Solution(Status.OPTIMAL, objective=10.0, bound=9.0)
+    assert sol.gap == 0.0
+
+
+def test_gap_feasible_uses_bound():
+    sol = Solution(Status.FEASIBLE, objective=10.0, bound=8.0)
+    assert sol.gap == pytest.approx(0.2)
+
+
+def test_gap_infinite_without_point():
+    assert Solution(Status.INFEASIBLE).gap == math.inf
+
+
+def test_getitem_reads_values():
+    sol = Solution(Status.OPTIMAL, values={"x": 3.0})
+    assert sol["x"] == 3.0
+    with pytest.raises(KeyError):
+        sol["y"]
+
+
+def test_require_ok():
+    good = Solution(Status.FEASIBLE, values={"x": 1.0}, objective=1.0)
+    assert good.require_ok() is good
+    with pytest.raises(RuntimeError, match="infeasible"):
+        Solution(Status.INFEASIBLE, message="proven").require_ok()
+
+
+def test_stats_merge():
+    a = SolveStats(nodes_explored=2, lp_solves=5, wall_time=1.0)
+    b = SolveStats(nodes_explored=3, nlp_solves=7, cuts_added=4, wall_time=0.5)
+    a.merge(b)
+    assert a.nodes_explored == 5
+    assert a.lp_solves == 5
+    assert a.nlp_solves == 7
+    assert a.cuts_added == 4
+    assert a.wall_time == pytest.approx(1.5)

@@ -1,0 +1,91 @@
+"""Tests for benchmark data containers."""
+
+import numpy as np
+import pytest
+
+from repro.perf.data import BenchmarkSuite, ComponentBenchmark, ScalingObservation
+
+
+def test_observation_validation():
+    ScalingObservation(4, 10.0)
+    with pytest.raises(ValueError):
+        ScalingObservation(0, 10.0)
+    with pytest.raises(ValueError):
+        ScalingObservation(2.5, 10.0)
+    with pytest.raises(ValueError):
+        ScalingObservation(4, -1.0)
+
+
+def test_component_sorted_by_nodes():
+    b = ComponentBenchmark.from_pairs("atm", [(128, 10.0), (16, 80.0), (64, 20.0)])
+    np.testing.assert_allclose(b.nodes, [16, 64, 128])
+    np.testing.assert_allclose(b.seconds, [80.0, 20.0, 10.0])
+
+
+def test_replicates_allowed():
+    b = ComponentBenchmark.from_pairs("ocn", [(8, 5.0), (8, 5.5)])
+    assert len(b) == 2
+
+
+def test_add_type_checked():
+    b = ComponentBenchmark("atm")
+    with pytest.raises(TypeError):
+        b.add((4, 1.0))
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ValueError):
+        ComponentBenchmark("")
+
+
+def test_node_range_and_coverage():
+    b = ComponentBenchmark.from_pairs("ice", [(16, 9.0), (256, 2.0)])
+    assert b.node_range == (16, 256)
+    assert b.covers(100)
+    assert not b.covers(512)
+    assert not b.covers(8)
+
+
+def test_node_range_empty_raises():
+    with pytest.raises(ValueError):
+        ComponentBenchmark("lnd").node_range
+
+
+def test_arrays_view():
+    b = ComponentBenchmark.from_pairs("atm", [(1, 100.0), (2, 51.0)])
+    n, y = b.arrays()
+    assert n.shape == y.shape == (2,)
+
+
+def test_merge_same_component():
+    a = ComponentBenchmark.from_pairs("atm", [(1, 100.0)])
+    b = ComponentBenchmark.from_pairs("atm", [(2, 51.0)])
+    merged = a.merged_with(b)
+    assert len(merged) == 2
+    with pytest.raises(ValueError):
+        a.merged_with(ComponentBenchmark.from_pairs("ocn", [(2, 1.0)]))
+
+
+def test_suite_mapping_protocol():
+    suite = BenchmarkSuite(
+        [
+            ComponentBenchmark.from_pairs("atm", [(1, 10.0), (2, 6.0)]),
+            ComponentBenchmark.from_pairs("ocn", [(1, 5.0)]),
+        ]
+    )
+    assert set(suite) == {"atm", "ocn"}
+    assert len(suite) == 2
+    assert suite.components == ("atm", "ocn")
+    assert len(suite["atm"]) == 2
+    assert suite.min_points() == 1
+
+
+def test_suite_add_merges_duplicates():
+    suite = BenchmarkSuite()
+    suite.add(ComponentBenchmark.from_pairs("atm", [(1, 10.0)]))
+    suite.add(ComponentBenchmark.from_pairs("atm", [(2, 6.0)]))
+    assert len(suite["atm"]) == 2
+
+
+def test_empty_suite_min_points():
+    assert BenchmarkSuite().min_points() == 0

@@ -1,0 +1,97 @@
+"""Tests for alternative model families and AICc selection."""
+
+import numpy as np
+import pytest
+
+from repro.minlp.expr import VarRef
+from repro.perf.model import PerformanceModel
+from repro.perf.selection import (
+    PowerLawModel,
+    fit_amdahl,
+    fit_power_law,
+    select_model,
+)
+from repro.util.rng import default_rng
+
+NODES = np.array([4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0])
+
+
+def test_power_law_model_basics():
+    m = PowerLawModel(a=100.0, p=0.7, d=2.0)
+    assert m.time(1) == pytest.approx(102.0)
+    assert m.time(100) < m.time(10) < m.time(1)
+    assert m.is_convex
+    with pytest.raises(ValueError):
+        m.time(0)
+    with pytest.raises(ValueError):
+        PowerLawModel(a=1.0, p=0.0)
+
+
+def test_power_law_expression_round_trip():
+    m = PowerLawModel(a=50.0, p=1.3, d=4.0)
+    e = m.expression("n")
+    for n in (2.0, 17.0, 300.0):
+        assert e.evaluate({"n": n}) == pytest.approx(m.time(n))
+    e2 = m.expression(VarRef("x"))
+    assert e2.variables() == frozenset({"x"})
+
+
+def test_fit_amdahl_exact():
+    truth = PerformanceModel(a=500.0, d=3.0)
+    fit = fit_amdahl(NODES, truth.time(NODES))
+    assert fit.a == pytest.approx(500.0, rel=1e-8)
+    assert fit.d == pytest.approx(3.0, rel=1e-8)
+    assert fit.b == 0.0
+
+
+def test_fit_amdahl_nonnegative_under_weird_data():
+    # Increasing data cannot produce negative parameters.
+    y = np.linspace(1.0, 5.0, NODES.size)
+    fit = fit_amdahl(NODES, y)
+    assert fit.a >= 0 and fit.d >= 0
+    with pytest.raises(ValueError):
+        fit_amdahl(np.array([2.0]), np.array([1.0]))
+
+
+def test_fit_power_law_recovers(rng):
+    truth = PowerLawModel(a=400.0, p=0.7, d=5.0)
+    fit = fit_power_law(NODES, truth.time(NODES), rng=rng)
+    for probe in (6.0, 50.0, 400.0):
+        assert fit.time(probe) == pytest.approx(truth.time(probe), rel=0.02)
+    with pytest.raises(ValueError):
+        fit_power_law(NODES[:2], truth.time(NODES[:2]), rng=rng)
+
+
+def test_selection_prefers_amdahl_on_amdahl_data(rng):
+    truth = PerformanceModel(a=800.0, d=7.0)
+    y = truth.time(NODES) * np.exp(rng.normal(0, 0.01, NODES.size))
+    sel = select_model(NODES, y, rng=default_rng(5))
+    # AICc must prefer the 2-parameter family when it explains the data.
+    assert sel.best_family == "amdahl"
+    assert "chosen" in sel.render()
+
+
+def test_selection_prefers_power_law_on_sublinear_data(rng):
+    truth = PowerLawModel(a=900.0, p=0.55, d=2.0)
+    y = truth.time(NODES) * np.exp(rng.normal(0, 0.01, NODES.size))
+    sel = select_model(NODES, y, rng=default_rng(5))
+    assert sel.best_family == "power-law"
+    # The winner extrapolates better than the Amdahl fit on this data.
+    probe = 1024.0
+    pl_err = abs(sel.best.model.time(probe) - truth.time(probe))
+    am_err = abs(sel.candidates["amdahl"].model.time(probe) - truth.time(probe))
+    assert pl_err < am_err
+
+
+def test_selection_unknown_family():
+    with pytest.raises(ValueError, match="unknown model family"):
+        select_model(NODES, NODES, families=("splines",))
+
+
+def test_aicc_infinite_when_underdetermined():
+    truth = PerformanceModel(a=100.0, d=1.0)
+    small = NODES[:4]
+    sel = select_model(small, truth.time(small), rng=default_rng(1))
+    # table2 has k=4; with D=4 points AICc cannot be corrected -> +inf.
+    assert sel.candidates["table2"].aicc == float("inf")
+    assert sel.best_family != "table2"

@@ -1,0 +1,74 @@
+"""Tests for replicate aggregation and variance-weighted fitting."""
+
+import numpy as np
+import pytest
+
+from repro.perf.data import ComponentBenchmark
+from repro.perf.fitting import fit_component
+from repro.perf.model import PerformanceModel
+from repro.util.rng import default_rng
+
+TRUTH = PerformanceModel(a=5000.0, d=10.0)
+
+
+def _replicated_bench(rng, noise_small=0.01, noise_large=0.12, reps=4):
+    """Clean small-node replicates, noisy large-node replicates."""
+    pairs = []
+    for n in (8, 16, 32):
+        for _ in range(reps):
+            pairs.append((n, float(TRUTH.time(n)) * float(np.exp(rng.normal(0, noise_small)))))
+    for n in (128, 512, 2048):
+        for _ in range(reps):
+            pairs.append((n, float(TRUTH.time(n)) * float(np.exp(rng.normal(0, noise_large)))))
+    return ComponentBenchmark.from_pairs("atm", pairs)
+
+
+def test_aggregate_math():
+    b = ComponentBenchmark.from_pairs("x", [(4, 10.0), (4, 12.0), (8, 5.0)])
+    rows = b.aggregate()
+    assert rows[0][0] == 4
+    assert rows[0][1] == pytest.approx(11.0)
+    assert rows[0][2] == pytest.approx(np.std([10.0, 12.0], ddof=1))
+    assert rows[0][3] == 2
+    assert rows[1] == (8, 5.0, 0.0, 1)
+
+
+def test_relative_noise_pooling():
+    b = ComponentBenchmark.from_pairs(
+        "x", [(4, 100.0), (4, 102.0), (8, 50.0), (8, 51.0)]
+    )
+    noise = b.relative_noise()
+    assert 0.0 < noise < 0.05
+    single = ComponentBenchmark.from_pairs("x", [(4, 100.0), (8, 50.0)])
+    assert single.relative_noise() == 0.0
+
+
+def test_weighted_fit_uses_aggregated_points(rng):
+    bench = _replicated_bench(rng)
+    fit = fit_component(bench, weighted=True, rng=default_rng(2))
+    # 6 distinct node counts after aggregation.
+    assert fit.n_points == 6
+    unweighted = fit_component(bench, weighted=False, rng=default_rng(2))
+    assert unweighted.n_points == 24
+
+
+def test_weighted_fit_downweights_noisy_tail():
+    """With clean small-n replicates and noisy large-n ones, the weighted
+    fit should recover the scalable coefficient at least as well."""
+    errs_w, errs_u = [], []
+    for seed in range(6):
+        bench = _replicated_bench(default_rng(seed))
+        w = fit_component(bench, weighted=True, rng=default_rng(99))
+        u = fit_component(bench, weighted=False, rng=default_rng(99))
+        errs_w.append(abs(w.model.a - TRUTH.a) / TRUTH.a)
+        errs_u.append(abs(u.model.a - TRUTH.a) / TRUTH.a)
+    assert np.mean(errs_w) <= np.mean(errs_u) + 0.01
+    assert np.mean(errs_w) < 0.05
+
+
+def test_weighted_fit_without_replicates_falls_back(rng):
+    bench = ComponentBenchmark.from_pairs(
+        "x", [(n, float(TRUTH.time(n))) for n in (8, 32, 128, 512)]
+    )
+    fit = fit_component(bench, weighted=True, rng=rng)
+    assert fit.r_squared > 0.9999

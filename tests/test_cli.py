@@ -1,0 +1,133 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig2" in out
+    assert "table3-eighth-32768-freeocn" in out
+    assert "predict-job-size" in out
+
+
+def test_experiment_unknown_name(capsys):
+    assert main(["experiment", "table9"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_fmo_command(capsys):
+    assert main(["--seed", "1", "fmo", "--fragments", "6", "--nodes", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "hslb-min-max" in out
+    assert "uniform" in out
+    assert "HSLB group sizes" in out
+
+
+def test_fmo_water_variant(capsys):
+    assert main(
+        ["--seed", "2", "fmo", "--system", "water", "--fragments", "5", "--nodes", "20"]
+    ) == 0
+    assert "(H2O)_5" in capsys.readouterr().out
+
+
+def test_optimize_command(capsys):
+    code = main(
+        [
+            "--seed", "3",
+            "optimize", "--resolution", "1deg", "--nodes", "64",
+            "--benchmarks", "16", "32", "64", "256",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "TOTAL" in out
+    assert "solver: optimal" in out
+
+
+def test_optimize_compare_manual(capsys):
+    code = main(
+        [
+            "--seed", "3",
+            "optimize", "--resolution", "1deg", "--nodes", "64",
+            "--benchmarks", "16", "32", "64", "256",
+            "--compare-manual",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "manual" in out
+    assert "HSLB improvement over manual" in out
+
+
+def test_optimize_free_ocean_requires_eighth(capsys):
+    assert main(["optimize", "--resolution", "1deg", "--nodes", "64", "--free-ocean"]) == 2
+    assert "1/8-degree" in capsys.readouterr().err
+
+
+def test_optimize_layout3(capsys):
+    code = main(
+        [
+            "--seed", "4",
+            "optimize", "--resolution", "1deg", "--nodes", "64",
+            "--layout", "3",
+            "--benchmarks", "16", "32", "64", "256",
+        ]
+    )
+    assert code == 0
+    assert "layout 3" in capsys.readouterr().out
+
+
+def test_experiment_runs_fmo_pipeline(capsys):
+    assert main(["experiment", "fmo-pipeline"]) == 0
+    assert "predicted makespan" in capsys.readouterr().out
+
+
+def test_optimize_save_and_load_benchmarks(tmp_path, capsys):
+    bench_file = str(tmp_path / "campaign.json")
+    args = [
+        "--seed", "3",
+        "optimize", "--resolution", "1deg", "--nodes", "64",
+        "--benchmarks", "16", "32", "64", "256",
+    ]
+    assert main(args + ["--save-benchmarks", bench_file]) == 0
+    first = capsys.readouterr().out
+    assert "benchmark campaign saved" in first
+    # Second run reuses the campaign: gather skipped, same fits, same table.
+    assert main(args + ["--load-benchmarks", bench_file]) == 0
+    second = capsys.readouterr().out
+    assert "TOTAL" in second
+
+
+def test_optimize_auto_campaign(capsys):
+    code = main(
+        ["--seed", "6", "optimize", "--resolution", "1deg", "--nodes", "128",
+         "--auto-campaign"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "planned gather campaign:" in out
+    assert "TOTAL" in out
+
+
+def test_export_ampl_to_stdout(capsys):
+    assert main(["--seed", "5", "export", "--nodes", "128"]) == 0
+    out = capsys.readouterr().out
+    assert "minimize objective:" in out
+    assert "var n_atm integer" in out
+    assert "suffix sosno" in out
+
+
+def test_export_ampl_to_file(tmp_path, capsys):
+    target = str(tmp_path / "layout1.mod")
+    assert main(["--seed", "5", "export", "--nodes", "128", "-o", target]) == 0
+    assert "written to" in capsys.readouterr().out
+    text = open(target).read()
+    assert "subject to" in text
+
+
+def test_entrypoint_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

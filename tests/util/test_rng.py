@@ -1,0 +1,39 @@
+import numpy as np
+import pytest
+
+from repro.util.rng import DEFAULT_SEED, default_rng, spawn_rng
+
+
+def test_default_seed_reproducible():
+    a = default_rng().random(5)
+    b = default_rng().random(5)
+    assert np.array_equal(a, b)
+
+
+def test_explicit_seed_differs_from_default():
+    a = default_rng().random(5)
+    b = default_rng(DEFAULT_SEED + 1).random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_spawn_independent_streams():
+    parent = default_rng(7)
+    children = spawn_rng(parent, 3)
+    draws = [c.random(4) for c in children]
+    assert not np.array_equal(draws[0], draws[1])
+    assert not np.array_equal(draws[1], draws[2])
+
+
+def test_spawn_deterministic():
+    a = [g.random() for g in spawn_rng(default_rng(9), 2)]
+    b = [g.random() for g in spawn_rng(default_rng(9), 2)]
+    assert a == b
+
+
+def test_spawn_negative_rejected():
+    with pytest.raises(ValueError):
+        spawn_rng(default_rng(), -1)
+
+
+def test_spawn_zero_ok():
+    assert spawn_rng(default_rng(), 0) == []

@@ -1,0 +1,44 @@
+import pytest
+
+from repro.util.tables import format_table
+
+
+def test_basic_alignment():
+    out = format_table(["name", "value"], [["x", 1.5], ["longer", 22.125]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    header, sep, row1, row2 = lines
+    assert "name" in header and "value" in header
+    assert set(sep) <= {"-", " "}
+    assert row1.endswith("1.500")
+    assert row2.endswith("22.125")
+
+
+def test_title_prepended():
+    out = format_table(["a"], [[1]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_float_format_override():
+    out = format_table(["a"], [[3.14159]], float_fmt=".1f")
+    assert "3.1" in out and "3.14" not in out
+
+
+def test_int_not_float_formatted():
+    out = format_table(["a"], [[7]])
+    assert out.splitlines()[-1].strip() == "7"
+
+
+def test_ragged_row_rejected():
+    with pytest.raises(ValueError, match="row 0"):
+        format_table(["a", "b"], [[1]])
+
+
+def test_empty_rows_ok():
+    out = format_table(["a", "b"], [])
+    assert len(out.splitlines()) == 2
+
+
+def test_bool_rendered_as_str_not_float():
+    out = format_table(["flag"], [[True]])
+    assert "True" in out
