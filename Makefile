@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples reports clean
+.PHONY: install test bench faults-bench examples reports clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Fault-injection degradation curves; writes
+# benchmarks/out/faults_degradation.txt and faults_pipeline.txt.
+faults-bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_faults.py --benchmark-only
 
 # Regenerate every paper table/figure and print the saved reports.
 reports: bench
@@ -24,6 +29,7 @@ examples:
 	$(PYTHON) examples/solver_tour.py
 	$(PYTHON) examples/job_size_prediction.py
 	$(PYTHON) examples/cesm_high_resolution.py
+	$(PYTHON) examples/fault_injection.py
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache

@@ -19,6 +19,7 @@ from repro.cesm.layouts import (
 )
 from repro.cesm.simulator import CESMSimulator
 from repro.core.spec import Allocation, Application, ExecutionResult
+from repro.faults.plan import FaultPlan
 from repro.minlp.problem import Problem
 from repro.minlp.solution import Solution
 from repro.perf.data import BenchmarkSuite
@@ -38,18 +39,21 @@ class CESMApplication(Application):
         include_minor_components: bool = False,
         outlier_prob: float = 0.0,
         outlier_scale: float = 3.0,
+        faults: "FaultPlan | None" = None,
     ) -> None:
         self.config = config
         self.layout = layout
         self.tsync = tsync
         self.benchmark_runs_per_count = int(benchmark_runs_per_count)
         self.include_minor_components = bool(include_minor_components)
+        self.fault_plan = faults
         self.simulator = CESMSimulator(
             config,
             layout=layout,
             include_minor=self.include_minor_components,
             outlier_prob=outlier_prob,
             outlier_scale=outlier_scale,
+            faults=faults,
         )
 
     @property
@@ -73,6 +77,22 @@ class CESMApplication(Application):
     ) -> BenchmarkSuite:
         return self.simulator.benchmark(
             node_counts, rng, runs_per_count=self.benchmark_runs_per_count
+        )
+
+    def benchmark_run(
+        self,
+        node_count: int,
+        rng: np.random.Generator,
+        *,
+        attempt: int = 0,
+        probe_extremes: bool = False,
+    ) -> BenchmarkSuite:
+        return self.simulator.benchmark(
+            [int(node_count)],
+            rng,
+            runs_per_count=self.benchmark_runs_per_count,
+            probe_extremes=probe_extremes,
+            attempt=attempt,
         )
 
     def formulate(
@@ -113,3 +133,29 @@ class CESMApplication(Application):
                 if minor in models:
                     out[minor] = float(models[minor].time(allocation[host]))
         return out
+
+    def fallback_allocation(
+        self,
+        models: Mapping[str, PerformanceModel],
+        total_nodes: int,
+    ) -> Allocation:
+        """Last-resort tier: the 'typical setup' proportional split (§II).
+
+        The generic greedy cannot see CESM's layout/admissibility
+        constraints, but the simulator's benchmark split is feasible by
+        construction — exactly what a production operator falls back to
+        when the optimizer is unavailable.
+        """
+        del models  # the heuristic split is model-free
+        return self.simulator.default_split(int(total_nodes))
+
+    def predicted_total(
+        self,
+        models: Mapping[str, PerformanceModel],
+        allocation: Allocation,
+    ) -> float:
+        from repro.cesm.layouts import layout_total_time
+
+        return float(
+            layout_total_time(self.layout, self.predicted_times(models, allocation))
+        )

@@ -22,6 +22,7 @@ from repro.cesm.components import COMPONENTS
 from repro.cesm.grids import CESMConfiguration
 from repro.cesm.layouts import MINOR_HOSTS, Layout, footprint, layout_total_time
 from repro.core.spec import Allocation, ExecutionResult
+from repro.faults.plan import FaultPlan, NodeCrashError
 from repro.perf.data import BenchmarkSuite, ComponentBenchmark, ScalingObservation
 from repro.util.rng import spawn_rng
 
@@ -47,6 +48,7 @@ class CESMSimulator:
         outlier_scale: float = 3.0,
         tasking: "Mapping[str, object] | None" = None,
         ice_policy: object | None = None,
+        faults: "FaultPlan | None" = None,
     ) -> None:
         if include_minor and not config.minor_ground_truth:
             raise ValueError(
@@ -88,6 +90,20 @@ class CESMSimulator:
         #: statistical ice noise; ``"default"`` applies the CESM rule-of-
         #: thumb decomposition's true multiplier; a trained
         #: :class:`DecompositionSelector` applies its learned choice.
+        #: Optional deterministic fault injection (:mod:`repro.faults`):
+        #: benchmark runs that fail/time out/straggle during gather, and one
+        #: mid-run node-group crash during a production execute.  ``None``
+        #: keeps the simulator bit-identical to the fault-free baseline.
+        if faults is not None and not isinstance(faults, FaultPlan):
+            raise TypeError("faults must be a FaultPlan or None")
+        if faults is not None and faults.crash_component is not None:
+            if faults.crash_component not in COMPONENTS:
+                raise ValueError(
+                    f"crash_component {faults.crash_component!r} is not a "
+                    f"CESM component {COMPONENTS}"
+                )
+        self.faults = faults
+        self._crashed = False
         self._ice_policy = None
         if ice_policy is not None:
             from repro.cesm.ice_decomp import DecompositionSelector
@@ -147,10 +163,34 @@ class CESMSimulator:
     # -- execution ---------------------------------------------------------
 
     def execute(
-        self, allocation: Allocation, rng: np.random.Generator
+        self,
+        allocation: Allocation,
+        rng: np.random.Generator,
+        *,
+        allow_crash: bool = True,
     ) -> ExecutionResult:
-        """Run the coupled model once at ``allocation`` under the layout."""
+        """Run the coupled model once at ``allocation`` under the layout.
+
+        With a fault plan carrying ``crash_component``, the first production
+        run (``allow_crash=True``; gather runs pass False) loses the node
+        group hosting that component mid-run and raises
+        :class:`NodeCrashError` — the nodes stay dead for the rest of the
+        simulator's life, so the recovery re-run proceeds on the survivors.
+        """
         self.validate_allocation(allocation)
+        if (
+            allow_crash
+            and self.faults is not None
+            and self.faults.crash_component is not None
+            and not self._crashed
+        ):
+            self._crashed = True
+            comp = self.faults.crash_component
+            raise NodeCrashError(
+                component=comp,
+                lost_nodes=allocation[comp],
+                fraction=self.faults.crash_fraction,
+            )
         minors = self._minor_components()
         order = COMPONENTS + minors
         streams = dict(zip(order, spawn_rng(rng, len(order))))
@@ -262,12 +302,19 @@ class CESMSimulator:
         *,
         runs_per_count: int = 1,
         probe_extremes: bool = True,
+        attempt: int = 0,
     ) -> BenchmarkSuite:
         """Step-1 gather: a 5-day-run campaign at each total node count.
 
         With ``probe_extremes`` (default), the largest machine size gets a
         second run with an ocean-heavy split so the ocean curve is sampled
         across its full admissible range (§III-C's bracketing advice).
+
+        A fault plan can kill the run at a node count outright (raising
+        :class:`repro.faults.BenchmarkRunError`; ``attempt`` numbers the
+        retry so the plan's draws stay deterministic) or inflate individual
+        component timings — stragglers are delivered, but flagged on the
+        observation so the fit step can prune them.
         """
         if runs_per_count < 1:
             raise ValueError("runs_per_count must be >= 1")
@@ -275,6 +322,8 @@ class CESMSimulator:
         node_counts = list(node_counts)
         biggest = max(node_counts) if node_counts else 0
         for total in node_counts:
+            if self.faults is not None:
+                self.faults.check_benchmark("cesm", int(total), attempt)
             allocations = [self.default_split(int(total))]
             if probe_extremes and total == biggest:
                 probe = self.ocean_heavy_split(int(total))
@@ -282,13 +331,25 @@ class CESMSimulator:
                     allocations.append(probe)
             for allocation in allocations:
                 for _ in range(runs_per_count):
-                    result = self.execute(allocation, rng)
+                    result = self.execute(allocation, rng, allow_crash=False)
                     for comp, seconds in result.component_times.items():
                         host = MINOR_HOSTS.get(comp, comp)
+                        status = "ok"
+                        if self.faults is not None:
+                            mult = self.faults.straggler_multiplier(
+                                "cesm", comp, int(total), attempt
+                            )
+                            if mult > 1.0:
+                                seconds *= mult
+                                status = "straggler"
                         suite.add(
                             ComponentBenchmark(
                                 comp,
-                                [ScalingObservation(allocation[host], seconds)],
+                                [
+                                    ScalingObservation(
+                                        allocation[host], seconds, status=status
+                                    )
+                                ],
                             )
                         )
         return suite

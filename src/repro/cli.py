@@ -17,6 +17,43 @@ import sys
 from repro.util.rng import default_rng
 
 
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("fault injection (repro.faults)")
+    group.add_argument(
+        "--fail-rate",
+        type=float,
+        default=0.0,
+        help="probability a benchmark run dies and must be retried",
+    )
+    group.add_argument(
+        "--straggler-rate",
+        type=float,
+        default=0.0,
+        help="probability a per-component timer is straggler-inflated",
+    )
+    group.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the deterministic fault plan (same seed, same faults)",
+    )
+
+
+def _fault_plan_from_args(args: argparse.Namespace, **crash: object):
+    """Build a FaultPlan from CLI flags, or None when no fault was asked for."""
+    crash = {k: v for k, v in crash.items() if v is not None}
+    if not (args.fail_rate or args.straggler_rate or crash):
+        return None
+    from repro.faults.plan import FaultPlan
+
+    return FaultPlan(
+        seed=args.fault_seed,
+        fail_rate=args.fail_rate,
+        straggler_rate=args.straggler_rate,
+        **crash,
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hslb",
@@ -80,6 +117,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="skip the gather step and reuse a saved campaign (§III-F)",
     )
+    _add_fault_args(opt)
+    opt.add_argument(
+        "--crash-component",
+        choices=("lnd", "ice", "atm", "ocn"),
+        default=None,
+        help="lose this component's nodes mid-run and re-plan on survivors",
+    )
 
     fmo = sub.add_parser("fmo", help="run HSLB and baselines on an FMO system")
     fmo.add_argument("--fragments", type=int, default=12)
@@ -89,6 +133,19 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("protein", "water"),
         default="protein",
         help="synthetic molecular system kind",
+    )
+    _add_fault_args(fmo)
+    fmo.add_argument(
+        "--crash-group",
+        type=int,
+        default=None,
+        help="lose this GDDI group mid-run and compare recovery strategies",
+    )
+    fmo.add_argument(
+        "--crash-fraction",
+        type=float,
+        default=0.5,
+        help="when the crash hits, as a fraction of the fault-free makespan",
     )
 
     exp = sub.add_parser("experiment", help="run a registered paper experiment")
@@ -129,7 +186,14 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     else:
         config = eighth_degree(constrained_ocean=not args.free_ocean)
     layout = Layout(args.layout)
-    app = CESMApplication(config, layout=layout, tsync=args.tsync)
+    try:
+        plan = _fault_plan_from_args(args, crash_component=args.crash_component)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if plan is not None:
+        print(f"fault plan: {plan.describe()}\n")
+    app = CESMApplication(config, layout=layout, tsync=args.tsync, faults=plan)
     if args.auto_campaign:
         from repro.cesm.campaign import plan_campaign
 
@@ -182,6 +246,10 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         f"{stats.nodes_explored} B&B nodes, {stats.nlp_solves} NLP solves, "
         f"{stats.cuts_added} OA cuts, {stats.wall_time:.2f}s"
     )
+    if plan is not None:
+        from repro.core.report import resilience_summary
+
+        print("\n" + resilience_summary(result))
     return 0
 
 
@@ -201,7 +269,20 @@ def _cmd_fmo(args: argparse.Namespace) -> int:
         if args.system == "protein"
         else water_cluster(args.fragments, rng)
     )
-    sim = FMOSimulator(system)
+    try:
+        plan = _fault_plan_from_args(
+            args,
+            crash_group=args.crash_group,
+            crash_fraction=(
+                args.crash_fraction if args.crash_group is not None else None
+            ),
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if plan is not None:
+        print(f"fault plan: {plan.describe()}\n")
+    sim = FMOSimulator(system, faults=plan)
     hs, sol = hslb_schedule(system, args.nodes)
     rows = []
     for sched in (
@@ -219,6 +300,41 @@ def _cmd_fmo(args: argparse.Namespace) -> int:
         )
     )
     print(f"\nHSLB group sizes: {hs.group_sizes} (predicted {sol.objective:.2f}s)")
+    if plan is not None and plan.crash_group is not None:
+        from repro.fmo.recovery import STRATEGIES, run_with_crash
+
+        crashed = greedy_dynamic_schedule(
+            system, args.nodes, max(2, args.fragments // 3)
+        )
+        if not 0 <= plan.crash_group < crashed.n_groups:
+            print(
+                f"--crash-group must be in [0, {crashed.n_groups}) for this run",
+                file=sys.stderr,
+            )
+            return 2
+        rows = []
+        for strategy in STRATEGIES:
+            out = run_with_crash(
+                sim,
+                crashed,
+                crash_group=plan.crash_group,
+                crash_fraction=plan.crash_fraction,
+                strategy=strategy,
+                rng=default_rng(args.seed),
+            )
+            rows.append([strategy, out.makespan, f"{out.degradation:+.1%}"])
+        print(
+            "\n"
+            + format_table(
+                ["recovery", "makespan s", "vs fault-free"],
+                rows,
+                title=(
+                    f"group {plan.crash_group} lost "
+                    f"{100 * plan.crash_fraction:.0f}% into the run "
+                    f"({crashed.n_groups} groups)"
+                ),
+            )
+        )
     return 0
 
 

@@ -4,25 +4,195 @@
 :class:`repro.core.spec.Application`.  Each step is also callable on its own
 so experiments can reuse benchmark data (the paper: "the data gathering step
 can be avoided altogether if reliable benchmarks are already available").
+
+Every step degrades gracefully when an application carries a fault plan
+(:mod:`repro.faults`) or when the real machine misbehaves:
+
+* **gather** retries failed benchmark runs with capped exponential backoff,
+  drops irrecoverable points, and raises a typed
+  :class:`GatherDegradedError` (never a downstream scipy crash) when a
+  component ends up unfittable;
+* **fit** prunes straggler-flagged observations and can skip-and-report
+  degenerate components;
+* **solve** walks a degradation chain — OA, then NLP-based branch-and-bound,
+  then the greedy proportional fallback — under a wall-clock budget, and
+  records the chosen tier as provenance on :class:`HSLBResult`;
+* **execute** survives a mid-run node-group crash by re-solving the
+  allocation on the surviving nodes and re-running (static re-plan).
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.spec import Allocation, Application, ExecutionResult
+from repro.faults.plan import BenchmarkRunError, NodeCrashError
 from repro.minlp.bnb import BnBOptions
 from repro.minlp.nlpbb import solve_minlp_nlpbb
 from repro.minlp.oa import solve_minlp_oa
 from repro.minlp.problem import Problem
-from repro.minlp.solution import Solution
-from repro.perf.data import BenchmarkSuite
+from repro.minlp.solution import Solution, Status
+from repro.perf.data import BenchmarkSuite, ComponentBenchmark
 from repro.perf.fitting import FitResult, fit_suite
 from repro.perf.model import PerformanceModel
 from repro.util.rng import default_rng
+
+#: Fewest observations the Table II least-squares fit can use.
+FIT_MIN_POINTS = 2
+
+
+def _annotate_retries(bench: ComponentBenchmark, attempt: int) -> ComponentBenchmark:
+    """Stamp how many failed attempts preceded these observations."""
+    if not attempt:
+        return bench
+    from dataclasses import replace
+
+    return ComponentBenchmark(
+        bench.component, (replace(o, retries=attempt) for o in bench)
+    )
+
+
+# -- gather resilience -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GatherPolicy:
+    """Retry discipline for the gather step."""
+
+    max_retries: int = 3
+    backoff_base: float = 2.0  # seconds before the first retry
+    backoff_cap: float = 60.0  # ceiling for the exponential backoff
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base <= 0 or self.backoff_cap < self.backoff_base:
+            raise ValueError("need 0 < backoff_base <= backoff_cap")
+
+    def backoff(self, attempt: int) -> float:
+        """Simulated wait before retry ``attempt`` (capped exponential)."""
+        return min(self.backoff_base * (2.0**attempt), self.backoff_cap)
+
+
+@dataclass(frozen=True)
+class GatherRecord:
+    """One benchmark point's brush with failure."""
+
+    nodes: int
+    attempts: int
+    outcome: str  # "recovered" | "dropped"
+    kinds: tuple[str, ...]  # fault kinds seen across attempts
+    backoff_seconds: float
+
+
+@dataclass
+class GatherReport:
+    """What the resilient gather had to do to deliver its suite."""
+
+    records: list[GatherRecord] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def dropped_counts(self) -> tuple[int, ...]:
+        return tuple(r.nodes for r in self.records if r.outcome == "dropped")
+
+    @property
+    def retried_counts(self) -> tuple[int, ...]:
+        return tuple(r.nodes for r in self.records if r.outcome == "recovered")
+
+    @property
+    def total_backoff_seconds(self) -> float:
+        return sum(r.backoff_seconds for r in self.records)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.records or self.warnings)
+
+    def summary(self) -> str:
+        if not self.degraded:
+            return "gather: clean campaign"
+        parts = []
+        if self.retried_counts:
+            parts.append(
+                f"{len(self.retried_counts)} run(s) recovered by retry "
+                f"(counts {list(self.retried_counts)}, "
+                f"{self.total_backoff_seconds:.0f}s backoff)"
+            )
+        if self.dropped_counts:
+            parts.append(f"dropped counts {list(self.dropped_counts)}")
+        parts.extend(self.warnings)
+        return "gather: " + "; ".join(parts)
+
+
+class GatherDegradedError(RuntimeError):
+    """The gather campaign lost so much data that fitting cannot proceed.
+
+    Carries the per-component reasons and the :class:`GatherReport`, so the
+    caller sees exactly which benchmark points died instead of a scipy
+    shape/ValueError from deep inside the fitter.
+    """
+
+    def __init__(self, reasons: Mapping[str, str], report: GatherReport) -> None:
+        self.reasons = dict(reasons)
+        self.report = report
+        detail = "; ".join(f"{k}: {v}" for k, v in sorted(self.reasons.items()))
+        super().__init__(
+            f"gather campaign degraded below the fitter's minimum — {detail} "
+            f"({report.summary()})"
+        )
+
+
+# -- solver degradation chain ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SolverAttempt:
+    """One tier of the degradation chain: what was tried and how it ended."""
+
+    tier: str  # "oa" | "nlpbb" | "greedy"
+    status: str  # solution status, "stalled", "error", or "ok"
+    reason: str
+    wall_time: float = 0.0
+
+
+@dataclass(frozen=True)
+class SolverProvenance:
+    """Which solver tier produced the allocation, and why."""
+
+    tier: str
+    reason: str
+    attempts: tuple[SolverAttempt, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """True when the first-choice tier did not produce the answer."""
+        return any(a.tier != self.tier for a in self.attempts) or self.tier == "greedy"
+
+    def summary(self) -> str:
+        chain = " -> ".join(f"{a.tier}[{a.status}]" for a in self.attempts)
+        return f"solver: {self.tier} ({self.reason}); chain: {chain}"
+
+
+@dataclass(frozen=True)
+class ExecutionRecovery:
+    """A mid-run node-group crash the pipeline recovered from."""
+
+    component: str
+    lost_nodes: int
+    crash_fraction: float
+    original_allocation: Allocation
+    wasted_seconds: float  # work thrown away by the crash (restart penalty)
+
+    def summary(self) -> str:
+        return (
+            f"recovery: lost {self.lost_nodes} node(s) hosting "
+            f"{self.component!r} {100 * self.crash_fraction:.0f}% into the "
+            f"run; re-planned on survivors ({self.wasted_seconds:.0f}s wasted)"
+        )
 
 
 @dataclass
@@ -33,6 +203,14 @@ class HSLBConfig:
     convex and the OA solver returns the global optimum (§III-E).
     ``algorithm`` may be ``"oa"`` (LP/NLP branch-and-bound, the paper's
     solver) or ``"nlpbb"`` (NLP-based B&B fallback for nonconvex models).
+
+    Resilience knobs: ``gather`` sets the retry/backoff discipline,
+    ``prune_stragglers`` drops straggler-flagged observations before
+    fitting (when enough clean points remain), ``fit_skip_degenerate``
+    lets the fit step skip-and-report unfittable components instead of
+    aborting, and ``solver_wall_budget`` caps the *total* wall-clock the
+    degradation chain may spend across all MINLP tiers before the greedy
+    fallback takes over (None: each tier keeps its own ``bnb.time_limit``).
     """
 
     convex_fit: bool = True
@@ -41,17 +219,23 @@ class HSLBConfig:
     algorithm: str = "oa"
     bnb: BnBOptions = field(default_factory=BnBOptions)
     nlp_multistart: int = 1
+    gather: GatherPolicy = field(default_factory=GatherPolicy)
+    prune_stragglers: bool = True
+    fit_skip_degenerate: bool = False
+    solver_wall_budget: float | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("oa", "nlpbb"):
             raise ValueError(f"unknown algorithm {self.algorithm!r}")
         if self.fit_loss not in ("linear", "huber", "soft_l1"):
             raise ValueError(f"unknown fit loss {self.fit_loss!r}")
+        if self.solver_wall_budget is not None and self.solver_wall_budget <= 0:
+            raise ValueError("solver_wall_budget must be positive")
 
 
 @dataclass
 class HSLBResult:
-    """Everything Table III reports for one HSLB run."""
+    """Everything Table III reports for one HSLB run, plus provenance."""
 
     total_nodes: int
     allocation: Allocation
@@ -60,6 +244,23 @@ class HSLBResult:
     fits: dict[str, FitResult]
     solution: Solution
     execution: ExecutionResult | None = None
+    provenance: SolverProvenance | None = None
+    gather_report: GatherReport | None = None
+    recovery: ExecutionRecovery | None = None
+
+    @property
+    def solver_tier(self) -> str:
+        """Which degradation-chain tier produced the allocation."""
+        return self.provenance.tier if self.provenance else "oa"
+
+    @property
+    def degraded(self) -> bool:
+        """True when any pipeline stage had to degrade to finish."""
+        return bool(
+            (self.gather_report and self.gather_report.degraded)
+            or (self.provenance and self.provenance.degraded)
+            or self.recovery
+        )
 
     @property
     def actual_times(self) -> dict[str, float] | None:
@@ -85,6 +286,10 @@ class HSLBOptimizer:
     def __init__(self, application: Application, config: HSLBConfig | None = None) -> None:
         self.app = application
         self.config = config or HSLBConfig()
+        #: Reports from the most recent gather/solve, for callers that use
+        #: the per-step API instead of :meth:`run`.
+        self.last_gather_report: GatherReport | None = None
+        self.last_provenance: SolverProvenance | None = None
 
     # -- step 1: gather -----------------------------------------------------
 
@@ -99,11 +304,99 @@ class HSLBOptimizer:
         required, and fewer than four earns a warning in the suite metadata
         (the caller can still proceed — small campaigns are legitimate for
         cheap configurations).
+
+        When the application carries a fault plan, benchmark runs may fail;
+        each failed run is retried with capped exponential backoff
+        (:class:`GatherPolicy`), irrecoverable node counts are dropped, and
+        a :class:`GatherDegradedError` is raised only when some component's
+        surviving observations fall below the fitter's minimum of
+        :data:`FIT_MIN_POINTS`.
         """
         if len(node_counts) < 2:
             raise ValueError("need at least two benchmark node counts")
         rng = rng or default_rng()
-        return self.app.benchmark(sorted(set(int(n) for n in node_counts)), rng)
+        counts = sorted(set(int(n) for n in node_counts))
+        if getattr(self.app, "fault_plan", None) is None:
+            # Clean machine: single-call path, bit-identical to the
+            # pre-resilience pipeline.
+            self.last_gather_report = GatherReport()
+            return self.app.benchmark(counts, rng)
+        return self._gather_resilient(counts, rng)
+
+    def _gather_resilient(
+        self, counts: list[int], rng: np.random.Generator
+    ) -> BenchmarkSuite:
+        policy = self.config.gather
+        suite = BenchmarkSuite()
+        report = GatherReport()
+        biggest = counts[-1]
+        for count in counts:
+            kinds: list[str] = []
+            backoff = 0.0
+            recovered = False
+            for attempt in range(policy.max_retries + 1):
+                try:
+                    part = self.app.benchmark_run(
+                        count,
+                        rng,
+                        attempt=attempt,
+                        probe_extremes=(count == biggest),
+                    )
+                except BenchmarkRunError as exc:
+                    kinds.append(exc.fault.kind)
+                    if not exc.fault.recoverable:
+                        # A dead point: no retry will revive it.
+                        break
+                    if attempt < policy.max_retries:
+                        backoff += policy.backoff(attempt)
+                    continue
+                for bench in part.values():
+                    suite.add(_annotate_retries(bench, attempt))
+                recovered = True
+                break
+            if recovered and kinds:
+                report.records.append(
+                    GatherRecord(
+                        nodes=count,
+                        attempts=len(kinds) + 1,
+                        outcome="recovered",
+                        kinds=tuple(kinds),
+                        backoff_seconds=backoff,
+                    )
+                )
+            elif not recovered:
+                # Exhausted retries (or hit a permanent fault): drop the point.
+                report.records.append(
+                    GatherRecord(
+                        nodes=count,
+                        attempts=len(kinds),
+                        outcome="dropped",
+                        kinds=tuple(kinds),
+                        backoff_seconds=backoff,
+                    )
+                )
+        if len(report.dropped_counts) == len(counts):
+            raise GatherDegradedError(
+                {name: "no surviving benchmark runs" for name in self.app.component_names},
+                report,
+            )
+        reasons = {}
+        for name in self.app.component_names:
+            n_obs = len(suite[name]) if name in suite else 0
+            if n_obs < FIT_MIN_POINTS:
+                reasons[name] = (
+                    f"{n_obs} surviving observation(s), fitter needs "
+                    f">= {FIT_MIN_POINTS}"
+                )
+        if reasons:
+            raise GatherDegradedError(reasons, report)
+        if report.dropped_counts:
+            report.warnings.append(
+                f"campaign thinned to {len(counts) - len(report.dropped_counts)}"
+                f"/{len(counts)} node counts"
+            )
+        self.last_gather_report = report
+        return suite
 
     # -- step 2: fit --------------------------------------------------------
 
@@ -112,17 +405,34 @@ class HSLBOptimizer:
         suite: BenchmarkSuite,
         rng: np.random.Generator | None = None,
     ) -> dict[str, FitResult]:
-        """Fit each component's performance function (Table II)."""
+        """Fit each component's performance function (Table II).
+
+        Straggler-flagged observations are pruned first (when enough clean
+        points remain); with ``fit_skip_degenerate`` unfittable components
+        are skipped and recorded as warnings on the gather report instead of
+        aborting the suite.
+        """
         missing = set(self.app.component_names) - set(suite.components)
         if missing:
             raise ValueError(f"benchmark suite missing components: {sorted(missing)}")
-        return fit_suite(
+        if self.config.prune_stragglers:
+            suite = suite.pruned(min_points=FIT_MIN_POINTS)
+        skipped: dict[str, str] = {}
+        fits = fit_suite(
             suite,
             convex=self.config.convex_fit,
             multistart=self.config.fit_multistart,
             rng=rng or default_rng(),
             loss=self.config.fit_loss,
+            skip_degenerate=self.config.fit_skip_degenerate,
+            skipped=skipped,
         )
+        if skipped and self.last_gather_report is not None:
+            for name, reason in sorted(skipped.items()):
+                self.last_gather_report.warnings.append(
+                    f"fit skipped {name!r}: {reason}"
+                )
+        return fits
 
     # -- step 3: solve ------------------------------------------------------
 
@@ -132,39 +442,123 @@ class HSLBOptimizer:
         total_nodes: int,
         rng: np.random.Generator | None = None,
     ) -> tuple[Allocation, Solution]:
-        """Solve the allocation MINLP for a machine of ``total_nodes``."""
+        """Solve the allocation MINLP for a machine of ``total_nodes``.
+
+        Walks the degradation chain (OA -> NLP-B&B -> greedy proportional
+        fallback) under ``config.solver_wall_budget``; the chosen tier and
+        the reason for every fallback are stored in
+        :attr:`last_provenance` and threaded onto :class:`HSLBResult` by the
+        pipeline entry points.
+        """
         models = {
             name: (f.model if isinstance(f, FitResult) else f)
             for name, f in fits.items()
         }
         problem = self.app.formulate(models, int(total_nodes))
-        solution = self._solve_problem(problem, rng)
-        solution.require_ok()
-        return self.app.allocation_from_solution(solution), solution
+        allocation, solution, provenance = self._solve_chain(
+            problem, models, int(total_nodes), rng
+        )
+        self.last_provenance = provenance
+        return allocation, solution
 
-    def _solve_problem(
-        self, problem: Problem, rng: np.random.Generator | None
-    ) -> Solution:
+    def _tiers(self) -> list[str]:
         if self.app.requires_nonconvex_solver:
-            # OA cuts are invalid on nonconvex models; override silently-safe.
-            return solve_minlp_nlpbb(
-                problem,
-                self.config.bnb,
-                multistart=max(self.config.nlp_multistart, 3),
-                rng=rng,
-            )
-        if self.config.algorithm == "oa":
+            # OA cuts are invalid on nonconvex models; skip that tier.
+            return ["nlpbb"]
+        if self.config.algorithm == "nlpbb":
+            return ["nlpbb"]
+        return ["oa", "nlpbb"]
+
+    def _solve_tier(
+        self,
+        tier: str,
+        problem: Problem,
+        opts: BnBOptions,
+        rng: np.random.Generator | None,
+    ) -> Solution:
+        if tier == "oa":
             return solve_minlp_oa(
-                problem,
-                self.config.bnb,
-                nlp_multistart=self.config.nlp_multistart,
-                rng=rng,
+                problem, opts, nlp_multistart=self.config.nlp_multistart, rng=rng
             )
-        return solve_minlp_nlpbb(
-            problem,
-            self.config.bnb,
-            multistart=self.config.nlp_multistart,
-            rng=rng,
+        multistart = self.config.nlp_multistart
+        if self.app.requires_nonconvex_solver:
+            multistart = max(multistart, 3)
+        return solve_minlp_nlpbb(problem, opts, multistart=multistart, rng=rng)
+
+    def _solve_chain(
+        self,
+        problem: Problem,
+        models: Mapping[str, PerformanceModel],
+        total_nodes: int,
+        rng: np.random.Generator | None,
+    ) -> tuple[Allocation, Solution, SolverProvenance]:
+        plan = getattr(self.app, "fault_plan", None)
+        budget = self.config.solver_wall_budget
+        start = time.perf_counter()
+        attempts: list[SolverAttempt] = []
+        for tier in self._tiers():
+            remaining = None if budget is None else budget - (time.perf_counter() - start)
+            if remaining is not None and remaining <= 0:
+                attempts.append(
+                    SolverAttempt(tier, "skipped", "wall budget exhausted")
+                )
+                continue
+            if plan is not None and plan.solver_fails(tier):
+                attempts.append(
+                    SolverAttempt(tier, "stalled", "injected solver stall")
+                )
+                continue
+            opts = self.config.bnb.with_budget(wall_seconds=remaining)
+            tick = time.perf_counter()
+            try:
+                sol = self._solve_tier(tier, problem, opts, rng)
+            except (ValueError, RuntimeError, FloatingPointError) as exc:
+                attempts.append(
+                    SolverAttempt(
+                        tier, "error", str(exc), time.perf_counter() - tick
+                    )
+                )
+                continue
+            wall = time.perf_counter() - tick
+            if not sol.status.is_ok:
+                attempts.append(
+                    SolverAttempt(
+                        tier,
+                        sol.status.value,
+                        sol.message or f"solver returned {sol.status.value}",
+                        wall,
+                    )
+                )
+                continue
+            attempts.append(SolverAttempt(tier, "ok", "solved", wall))
+            reason = (
+                "first-choice tier"
+                if len(attempts) == 1
+                else "earlier tier(s) failed: "
+                + ", ".join(f"{a.tier}={a.status}" for a in attempts[:-1])
+            )
+            return (
+                self.app.allocation_from_solution(sol),
+                sol,
+                SolverProvenance(tier=tier, reason=reason, attempts=tuple(attempts)),
+            )
+        # Tier 3: the greedy proportional fallback never fails — it needs no
+        # solver, only the fitted curves (and the app's feasibility rules).
+        allocation = self.app.fallback_allocation(models, total_nodes)
+        objective = self.app.predicted_total(models, allocation)
+        solution = Solution(
+            status=Status.FEASIBLE,
+            values={f"n_{name}": float(count) for name, count in allocation.items()},
+            objective=float(objective),
+            message="greedy proportional fallback (all MINLP tiers failed)",
+        )
+        reason = "all MINLP tiers failed: " + ", ".join(
+            f"{a.tier}={a.status}" for a in attempts
+        )
+        return (
+            allocation,
+            solution,
+            SolverProvenance(tier="greedy", reason=reason, attempts=tuple(attempts)),
         )
 
     # -- step 4: execute ------------------------------------------------------
@@ -213,7 +607,50 @@ class HSLBOptimizer:
             predicted_total=float(solution.objective),
             fits=dict(fits),
             solution=solution,
+            provenance=self.last_provenance,
+            gather_report=self.last_gather_report,
         )
         if execute:
-            result.execution = self.execute(allocation, rng)
+            try:
+                result.execution = self.execute(allocation, rng)
+            except NodeCrashError as exc:
+                self._recover_execution(result, models, exc, rng)
         return result
+
+    def _recover_execution(
+        self,
+        result: HSLBResult,
+        models: Mapping[str, PerformanceModel],
+        crash: NodeCrashError,
+        rng: np.random.Generator | None,
+    ) -> None:
+        """Static re-plan after a mid-run node-group loss.
+
+        The crashed group's nodes are gone; re-solve the allocation MINLP on
+        the surviving machine (same fitted models — the curves did not
+        change, only the budget did), re-run, and charge the work the crash
+        threw away as a restart penalty on the recovered run's total.
+        """
+        surviving = result.total_nodes - crash.lost_nodes
+        wasted = crash.fraction * float(result.predicted_total)
+        recovery = ExecutionRecovery(
+            component=crash.component,
+            lost_nodes=crash.lost_nodes,
+            crash_fraction=crash.fraction,
+            original_allocation=result.allocation,
+            wasted_seconds=wasted,
+        )
+        problem = self.app.formulate(models, surviving)
+        allocation, solution, provenance = self._solve_chain(
+            problem, models, surviving, rng
+        )
+        execution = self.execute(allocation, rng)
+        execution.total_time += wasted
+        execution.metadata["recovered_from_crash"] = recovery.summary()
+        result.allocation = allocation
+        result.predicted_times = self.app.predicted_times(models, allocation)
+        result.predicted_total = float(solution.objective) + wasted
+        result.solution = solution
+        result.provenance = provenance
+        result.recovery = recovery
+        result.execution = execution

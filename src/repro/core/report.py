@@ -77,6 +77,24 @@ def comparison_table(
     return format_table(headers, rows, title=title)
 
 
+def resilience_summary(result: HSLBResult) -> str:
+    """Every degradation the pipeline absorbed, one line per stage.
+
+    Empty-ish runs say so explicitly: operators reading a fault-injected
+    report need "no degradation" stated, not inferred from absence.
+    """
+    lines = []
+    if result.gather_report is not None and result.gather_report.degraded:
+        lines.append(result.gather_report.summary())
+    if result.provenance is not None:
+        lines.append(result.provenance.summary())
+    if result.recovery is not None:
+        lines.append(result.recovery.summary())
+    if not lines:
+        lines.append(f"pipeline: no degradation (solver tier {result.solver_tier})")
+    return "\n".join(lines)
+
+
 def speedup_summary(
     manual_execution: ExecutionResult, result: HSLBResult
 ) -> dict[str, float]:

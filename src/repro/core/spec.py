@@ -82,6 +82,11 @@ class Application(abc.ABC):
     in, seconds out) is calibrated to the paper's published data.
     """
 
+    #: Optional fault-injection plan (:class:`repro.faults.FaultPlan`).
+    #: Applications that support injection set this; the pipeline switches to
+    #: its resilient gather/solve/execute paths whenever it is non-None.
+    fault_plan = None
+
     @property
     @abc.abstractmethod
     def component_names(self) -> tuple[str, ...]:
@@ -134,3 +139,60 @@ class Application(abc.ABC):
             for name in allocation.components
             if name in models
         }
+
+    # -- resilience hooks (defaults suit min-max applications) ---------------
+
+    def benchmark_run(
+        self,
+        node_count: int,
+        rng: np.random.Generator,
+        *,
+        attempt: int = 0,
+        probe_extremes: bool = False,
+    ) -> BenchmarkSuite:
+        """One gather run at a single total node count.
+
+        The resilient gather path retries *individual* runs, so it needs a
+        per-count entry point; the default delegates to :meth:`benchmark`.
+        ``attempt`` numbers retries (fault plans key their draws off it) and
+        ``probe_extremes`` marks the campaign's largest count, where
+        applications may add extra bracketing probes.  Implementations may
+        raise :class:`repro.faults.BenchmarkRunError` for an injected (or
+        real) failed run.
+        """
+        del attempt, probe_extremes  # defaults ignore the resilience hints
+        return self.benchmark([int(node_count)], rng)
+
+    def fallback_allocation(
+        self,
+        models: Mapping[str, PerformanceModel],
+        total_nodes: int,
+    ) -> Allocation:
+        """Last-resort allocation when every MINLP solver tier has failed.
+
+        The default is the exact polynomial-time greedy for single-budget
+        min-max problems (:mod:`repro.core.greedy`) — proportional in the
+        sense that each component's share follows its fitted curve.
+        Applications with layout/admissibility constraints the greedy cannot
+        see must override this with a heuristic that is always feasible.
+        """
+        from repro.core.greedy import greedy_minmax_allocation
+
+        alloc, _ = greedy_minmax_allocation(models, int(total_nodes))
+        return Allocation(alloc)
+
+    def predicted_total(
+        self,
+        models: Mapping[str, PerformanceModel],
+        allocation: Allocation,
+    ) -> float:
+        """Objective value the models predict for ``allocation``.
+
+        Used to price fallback allocations that never went through a MINLP
+        solve.  The default is the min-max makespan; applications with
+        richer objectives (e.g. CESM's layout makespan) override it.
+        """
+        times = self.predicted_times(models, allocation)
+        if not times:
+            raise ValueError("no models available to price the allocation")
+        return max(times.values())

@@ -1,0 +1,183 @@
+"""Fault-injection experiments: what does HSLB lose when the machine lies?
+
+Two artifacts quantify the robustness story (DESIGN.md, "Fault model &
+degradation guarantees"):
+
+* F1 — makespan-degradation curves: an FMO/GDDI schedule loses one node
+  group at varying points in the run; static re-plan (HSLB's answer) is
+  compared against idealized work stealing and against no recovery at all;
+* F2 — end-to-end resilient pipeline: CESM 1-degree @ 128 nodes and the
+  default FMO scenario run with a 10% benchmark failure rate, stragglers,
+  and one mid-run crash; the pipeline must complete and account for every
+  degradation it absorbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.plan import FaultPlan
+from repro.util.rng import default_rng
+from repro.util.tables import format_table
+
+
+@dataclass
+class FaultDegradationResult:
+    """F1: fractional makespan excess per (crash fraction, strategy)."""
+
+    fractions: tuple[float, ...]
+    degradation: dict[str, list[float]]  # strategy -> one value per fraction
+    fault_free_makespan: float
+    n_fragments: int
+    n_groups: int
+    crash_group: int
+
+    def worst(self, strategy: str) -> float:
+        return max(self.degradation[strategy])
+
+    def render(self) -> str:
+        strategies = list(self.degradation)
+        rows = [
+            [f"{frac:.0%}"] + [100.0 * self.degradation[s][i] for s in strategies]
+            for i, frac in enumerate(self.fractions)
+        ]
+        table = format_table(
+            ["crash at"] + [f"{s} +%" for s in strategies],
+            rows,
+            title=(
+                f"F1: makespan degradation after losing group "
+                f"{self.crash_group}/{self.n_groups} "
+                f"({self.n_fragments} fragments)"
+            ),
+        )
+        return table + (
+            f"\nfault-free makespan: {self.fault_free_makespan:.2f} s; "
+            f"worst static re-plan: +{100 * self.worst('replan'):.1f}%"
+        )
+
+
+def run_fault_degradation(
+    *,
+    n_fragments: int = 16,
+    total_nodes: int = 64,
+    n_groups: int = 4,
+    crash_group: int = 0,
+    fractions: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    seed: int = 2012,
+) -> FaultDegradationResult:
+    """F1: sweep the crash time over the run; compare recovery strategies."""
+    from repro.fmo.molecules import water_cluster
+    from repro.fmo.recovery import degradation_curve
+    from repro.fmo.schedulers import greedy_dynamic_schedule
+    from repro.fmo.simulator import FMOSimulator
+
+    system = water_cluster(n_fragments, default_rng(seed))
+    sim = FMOSimulator(system)
+    schedule = greedy_dynamic_schedule(system, total_nodes, n_groups)
+    curves = degradation_curve(
+        sim, schedule, crash_group=crash_group, fractions=fractions, seed=seed
+    )
+    degradation = {
+        strategy: [o.degradation for o in outcomes]
+        for strategy, outcomes in curves.items()
+    }
+    fault_free = curves["replan"][0].fault_free_makespan
+    return FaultDegradationResult(
+        fractions=fractions,
+        degradation=degradation,
+        fault_free_makespan=fault_free,
+        n_fragments=n_fragments,
+        n_groups=schedule.n_groups,
+        crash_group=crash_group,
+    )
+
+
+@dataclass
+class FaultPipelineResult:
+    """F2: both flagship scenarios surviving injected faults end to end."""
+
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def tiers(self) -> dict[str, str]:
+        return {str(r[0]): str(r[2]) for r in self.rows}
+
+    def render(self) -> str:
+        table = format_table(
+            ["scenario", "completed", "solver tier", "degraded", "makespan s"],
+            self.rows,
+            title="F2: end-to-end pipeline under injected faults",
+        )
+        return table + "".join(f"\n{n}" for n in self.notes)
+
+
+def run_fault_pipeline(
+    *,
+    fail_rate: float = 0.10,
+    straggler_rate: float = 0.05,
+    seed: int = 2012,
+) -> FaultPipelineResult:
+    """F2: CESM 1deg-128 and the default FMO scenario, faults injected."""
+    from repro.cesm.app import CESMApplication
+    from repro.cesm.grids import one_degree
+    from repro.core.hslb import HSLBOptimizer
+    from repro.experiments.paper_data import BENCHMARK_CAMPAIGN
+    from repro.fmo.app import FMOApplication
+    from repro.fmo.molecules import protein_like
+
+    out = FaultPipelineResult()
+
+    plan = FaultPlan(
+        seed=seed,
+        fail_rate=fail_rate,
+        straggler_rate=straggler_rate,
+        crash_component="ocn",
+    )
+    app = CESMApplication(one_degree(), faults=plan)
+    result = HSLBOptimizer(app).run(BENCHMARK_CAMPAIGN["1deg"], 128, default_rng(seed))
+    out.rows.append(
+        [
+            "cesm-1deg-128",
+            "yes",
+            result.solver_tier,
+            "yes" if result.degraded else "no",
+            result.execution.total_time,
+        ]
+    )
+    if result.gather_report is not None and result.gather_report.degraded:
+        out.notes.append("cesm " + result.gather_report.summary())
+    if result.recovery is not None:
+        out.notes.append("cesm " + result.recovery.summary())
+
+    fmo_plan = FaultPlan(
+        seed=seed,
+        fail_rate=fail_rate,
+        straggler_rate=straggler_rate,
+        crash_group=0,
+    )
+    fmo_app = FMOApplication(
+        protein_like(12, default_rng(seed)), faults=fmo_plan
+    )
+    fmo_result = HSLBOptimizer(fmo_app).run(
+        (1, 2, 4, 8, 16), 256, default_rng(seed)
+    )
+    meta = fmo_result.execution.metadata
+    out.rows.append(
+        [
+            "fmo-protein-12-256",
+            "yes",
+            fmo_result.solver_tier,
+            "yes" if (fmo_result.degraded or "crash_group" in meta) else "no",
+            fmo_result.execution.total_time,
+        ]
+    )
+    if fmo_result.gather_report is not None and fmo_result.gather_report.degraded:
+        out.notes.append("fmo " + fmo_result.gather_report.summary())
+    if "crash_group" in meta:
+        out.notes.append(
+            f"fmo group {meta['crash_group']} crashed at "
+            f"{meta['crash_time']:.2f}s; {meta['recovery_strategy']} recovery, "
+            f"makespan +{100 * meta['makespan_degradation']:.1f}% vs fault-free"
+        )
+    return out

@@ -8,6 +8,7 @@ from repro.experiments import (
     ablations,
     cost,
     extensions,
+    faults,
     fig2,
     fig3,
     fig4,
@@ -46,6 +47,8 @@ EXPERIMENTS: dict[str, Callable[..., object]] = {
     "predict-new-hardware": predictions.run_new_hardware_prediction,
     "robustness-noise": robustness.run_noise_sweep,
     "robustness-outliers": robustness.run_outlier_robustness,
+    "faults-degradation": faults.run_fault_degradation,
+    "faults-pipeline": faults.run_fault_pipeline,
     "ext-ice-decomposition": extensions.run_ice_decomposition,
     "ext-tasking": extensions.run_tasking_tuning,
     "tuning-cost": cost.run_tuning_cost,

@@ -14,8 +14,10 @@ import numpy as np
 from repro.core.builder import AllocationModelBuilder
 from repro.core.objectives import Objective
 from repro.core.spec import Allocation, Application, ExecutionResult
+from repro.faults.plan import FaultPlan
 from repro.fmo.gddi import GroupSchedule
 from repro.fmo.molecules import FragmentedSystem
+from repro.fmo.recovery import STRATEGIES, run_with_crash
 from repro.fmo.simulator import FMOSimulator
 from repro.fmo.timing import MachineCalibration
 from repro.minlp.problem import Problem
@@ -34,10 +36,16 @@ class FMOApplication(Application):
         calib: MachineCalibration | None = None,
         noise: float = 0.02,
         objective: Objective = Objective.MIN_MAX,
+        faults: FaultPlan | None = None,
+        recovery_strategy: str = "replan",
     ) -> None:
+        if recovery_strategy not in STRATEGIES:
+            raise ValueError(f"unknown recovery strategy {recovery_strategy!r}")
         self.system = system
         self.objective = objective
-        self.simulator = FMOSimulator(system, calib=calib, noise=noise)
+        self.fault_plan = faults
+        self.recovery_strategy = recovery_strategy
+        self.simulator = FMOSimulator(system, calib=calib, noise=noise, faults=faults)
 
     @property
     def component_names(self) -> tuple[str, ...]:
@@ -52,6 +60,17 @@ class FMOApplication(Application):
         self, node_counts: Sequence[int], rng: np.random.Generator
     ) -> BenchmarkSuite:
         return self.simulator.benchmark(node_counts, rng)
+
+    def benchmark_run(
+        self,
+        node_count: int,
+        rng: np.random.Generator,
+        *,
+        attempt: int = 0,
+        probe_extremes: bool = False,
+    ) -> BenchmarkSuite:
+        del probe_extremes  # FMO benchmarking has no extreme-point probe
+        return self.simulator.benchmark([int(node_count)], rng, attempt=attempt)
 
     def formulate(
         self, models: Mapping[str, PerformanceModel], total_nodes: int
@@ -88,6 +107,33 @@ class FMOApplication(Application):
         self, allocation: Allocation, rng: np.random.Generator
     ) -> ExecutionResult:
         schedule = self.schedule_from_allocation(allocation)
+        plan = self.fault_plan
+        if plan is not None and plan.crash_group is not None:
+            outcome = run_with_crash(
+                self.simulator,
+                schedule,
+                crash_group=int(plan.crash_group),
+                crash_fraction=plan.crash_fraction,
+                strategy=self.recovery_strategy,
+                rng=rng,
+            )
+            times = {
+                f"frag{i}": outcome.fragment_times[i]
+                for i in range(self.system.n_fragments)
+            }
+            return ExecutionResult(
+                component_times=times,
+                total_time=outcome.makespan,
+                metadata={
+                    "group_sizes": schedule.group_sizes,
+                    "crash_group": outcome.crash_group,
+                    "crash_time": outcome.crash_time,
+                    "recovery_strategy": outcome.strategy,
+                    "lost_fragments": outcome.lost_fragments,
+                    "fault_free_makespan": outcome.fault_free_makespan,
+                    "makespan_degradation": outcome.degradation,
+                },
+            )
         run = self.simulator.execute(schedule, rng)
         times = {
             f"frag{i}": run.fragment_times[i] for i in range(self.system.n_fragments)

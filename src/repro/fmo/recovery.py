@@ -1,0 +1,208 @@
+"""Mid-run node-group loss and recovery for FMO/GDDI schedules.
+
+A GDDI run loses a whole node group (hardware failure takes out the
+partition hosting it) ``crash_fraction`` of the way through the run.  Work
+the dead group had finished stays finished; its in-flight and queued
+fragments must re-run from scratch on the surviving groups.  Three recovery
+strategies bracket the design space the PAPERS.md dynamic-load-balancing
+literature argues about:
+
+* ``"replan"`` — **static re-plan**, HSLB's answer: at crash time, solve the
+  residual assignment problem once using the fitted/model *predictions* of
+  each pending fragment's cost on each surviving group, then stick to the
+  plan (longest-processing-time greedy, which is the exact specialization of
+  the min-max MINLP when group sizes are already fixed);
+* ``"dynamic"`` — the idealized work-stealing baseline of
+  :mod:`repro.fmo.schedulers`: pending fragments dispatched one at a time to
+  the earliest-available group with perfect knowledge of *actual* durations
+  (an upper bound on any real DLB runtime);
+* ``"none"`` — naive failover: every pending fragment dumped on the first
+  surviving group, the no-recovery strawman.
+
+The makespan-degradation curves in ``benchmarks/bench_faults.py`` compare
+all three against the fault-free run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fmo.gddi import GroupSchedule
+from repro.fmo.simulator import FMOSimulator
+from repro.util.rng import default_rng, spawn_rng
+
+STRATEGIES = ("replan", "dynamic", "none")
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """One crashed run under one recovery strategy."""
+
+    strategy: str
+    makespan: float
+    fault_free_makespan: float
+    crash_time: float
+    crash_group: int
+    lost_fragments: tuple[int, ...]  # pending at crash: must re-run elsewhere
+    completed_before_crash: tuple[int, ...]
+    group_finish_times: tuple[float, ...]  # per surviving group (dead = crash time)
+    fragment_times: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def degradation(self) -> float:
+        """Fractional makespan excess over the fault-free run."""
+        if self.fault_free_makespan <= 0:
+            return 0.0
+        return self.makespan / self.fault_free_makespan - 1.0
+
+
+def _draw_times(
+    sim: FMOSimulator, schedule: GroupSchedule, rng: np.random.Generator
+) -> dict[int, float]:
+    """Per-fragment durations for the original run — same stream layout as
+    :meth:`FMOSimulator.execute`, so a fault-free recovery simulation equals
+    a plain execute with the same generator."""
+    streams = spawn_rng(rng, sim.system.n_fragments)
+    return {
+        frag: sim.fragment_seconds(frag, schedule.group_sizes[grp], streams[frag])
+        for frag, grp in enumerate(schedule.assignment)
+    }
+
+
+def run_with_crash(
+    sim: FMOSimulator,
+    schedule: GroupSchedule,
+    *,
+    crash_group: int,
+    crash_fraction: float = 0.5,
+    strategy: str = "replan",
+    rng: np.random.Generator | None = None,
+) -> RecoveryOutcome:
+    """Simulate ``schedule`` with ``crash_group`` dying mid-run.
+
+    The crash hits at ``crash_fraction`` of the fault-free makespan.  The
+    surviving groups finish their own queues regardless; the dead group's
+    unfinished fragments are re-assigned per ``strategy`` and re-run from
+    scratch (partial work is lost), with re-run durations drawn at the
+    receiving group's size.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown recovery strategy {strategy!r}")
+    if not 0 <= crash_group < schedule.n_groups:
+        raise ValueError(
+            f"crash_group {crash_group} out of range for {schedule.n_groups} groups"
+        )
+    if schedule.n_groups < 2:
+        raise ValueError("cannot recover: the crashed group is the whole machine")
+    if not 0.0 < crash_fraction < 1.0:
+        raise ValueError("crash_fraction must be in (0, 1)")
+    rng = rng or default_rng()
+    times = _draw_times(sim, schedule, rng)
+    rerun_jitter = spawn_rng(rng, sim.system.n_fragments)
+
+    group_load = [0.0] * schedule.n_groups
+    for frag, grp in enumerate(schedule.assignment):
+        group_load[grp] += times[frag]
+    fault_free = max(group_load)
+    crash_time = crash_fraction * fault_free
+
+    # Walk the dead group's queue: fragments wholly finished before the
+    # crash survive; the in-flight one and everything queued behind it die.
+    completed: list[int] = []
+    pending: list[int] = []
+    elapsed = 0.0
+    for frag in schedule.fragments_of(crash_group):
+        elapsed += times[frag]
+        (completed if elapsed <= crash_time else pending).append(frag)
+
+    survivors = [g for g in range(schedule.n_groups) if g != crash_group]
+    # A surviving group can only take re-assigned work once it has drained
+    # its own queue AND the crash has actually happened.
+    avail = {g: max(group_load[g], crash_time) for g in survivors}
+
+    def rerun_seconds(frag: int, group: int) -> float:
+        size = schedule.group_sizes[group]
+        jitter = (
+            float(np.exp(rerun_jitter[frag].normal(0.0, sim.noise)))
+            if sim.noise
+            else 1.0
+        )
+        return sim.true_fragment_seconds(frag, size) * jitter
+
+    if strategy == "none":
+        # Naive failover: everything onto the first survivor, serially.
+        sink = survivors[0]
+        for frag in pending:
+            avail[sink] += rerun_seconds(frag, sink)
+    elif strategy == "replan":
+        # Static re-plan from model predictions: one LPT pass at crash time,
+        # then the plan is frozen — actual durations land where the plan put
+        # them, prediction error and all.
+        planned = dict(avail)
+        order = sorted(
+            pending,
+            key=lambda f: sim.true_fragment_seconds(f, schedule.group_sizes[survivors[0]]),
+            reverse=True,
+        )
+        for frag in order:
+            target = min(
+                survivors,
+                key=lambda g: planned[g] + sim.true_fragment_seconds(frag, schedule.group_sizes[g]),
+            )
+            planned[target] += sim.true_fragment_seconds(frag, schedule.group_sizes[target])
+            avail[target] += rerun_seconds(frag, target)
+    else:  # "dynamic": perfect-knowledge work stealing over actual durations
+        remaining = set(pending)
+        while remaining:
+            target = min(survivors, key=avail.get)
+            frag = max(remaining, key=lambda f: rerun_seconds(f, target))
+            remaining.discard(frag)
+            avail[target] += rerun_seconds(frag, target)
+
+    finishes = tuple(
+        avail[g] if g != crash_group else min(crash_time, group_load[g])
+        for g in range(schedule.n_groups)
+    )
+    makespan = max(max(avail.values()) if pending else fault_free, crash_time)
+    return RecoveryOutcome(
+        strategy=strategy,
+        makespan=float(makespan),
+        fault_free_makespan=float(fault_free),
+        crash_time=float(crash_time),
+        crash_group=int(crash_group),
+        lost_fragments=tuple(pending),
+        completed_before_crash=tuple(completed),
+        group_finish_times=finishes,
+        fragment_times=dict(times),
+    )
+
+
+def degradation_curve(
+    sim: FMOSimulator,
+    schedule: GroupSchedule,
+    *,
+    crash_group: int,
+    fractions: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    seed: int = 0,
+) -> dict[str, list[RecoveryOutcome]]:
+    """Makespan degradation vs crash time for every recovery strategy.
+
+    Each (fraction, strategy) cell reuses the same seed so the underlying
+    run — and therefore the comparison — is apples to apples.
+    """
+    out: dict[str, list[RecoveryOutcome]] = {s: [] for s in STRATEGIES}
+    for strategy in STRATEGIES:
+        for fraction in fractions:
+            out[strategy].append(
+                run_with_crash(
+                    sim,
+                    schedule,
+                    crash_group=crash_group,
+                    crash_fraction=fraction,
+                    strategy=strategy,
+                    rng=default_rng(seed),
+                )
+            )
+    return out

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.faults.plan import FaultPlan
 from repro.fmo.gddi import GroupSchedule
 from repro.fmo.molecules import FragmentedSystem
 from repro.fmo.timing import MachineCalibration, total_fragment_model
@@ -46,12 +47,19 @@ class FMOSimulator:
         *,
         calib: MachineCalibration | None = None,
         noise: float = 0.02,
+        faults: FaultPlan | None = None,
     ) -> None:
         if noise < 0:
             raise ValueError("noise must be nonnegative")
+        if faults is not None and not isinstance(faults, FaultPlan):
+            raise TypeError("faults must be a FaultPlan or None")
         self.system = system
         self.calib = calib or MachineCalibration()
         self.noise = float(noise)
+        #: Optional deterministic fault injection (:mod:`repro.faults`):
+        #: failed/straggling benchmark runs during gather; mid-run group
+        #: crashes are handled by :mod:`repro.fmo.recovery`.
+        self.faults = faults
         self._models: dict[int, PerformanceModel] = {
             f.index: total_fragment_model(system, f, self.calib)
             for f in system.fragments
@@ -89,26 +97,40 @@ class FMOSimulator:
         )
 
     def benchmark(
-        self, group_sizes: Sequence[int], rng: np.random.Generator
+        self,
+        group_sizes: Sequence[int],
+        rng: np.random.Generator,
+        *,
+        attempt: int = 0,
     ) -> BenchmarkSuite:
         """Gather step: time every fragment at each trial group size.
 
         Mirrors the FMO benchmarking procedure: short runs with uniform
-        groups of each size, recording per-fragment timers.
+        groups of each size, recording per-fragment timers.  A fault plan
+        can kill the run at a group size (``attempt`` numbers the retry) or
+        inflate individual fragment timers, which are then flagged as
+        stragglers on the recorded observations.
         """
         suite = BenchmarkSuite()
         for size in group_sizes:
             if size < 1:
                 raise ValueError(f"group size must be >= 1, got {size}")
+            if self.faults is not None:
+                self.faults.check_benchmark("fmo", int(size), attempt)
             for frag in range(self.system.n_fragments):
+                seconds = self.fragment_seconds(frag, int(size), rng)
+                status = "ok"
+                if self.faults is not None:
+                    mult = self.faults.straggler_multiplier(
+                        "fmo", frag, int(size), attempt
+                    )
+                    if mult > 1.0:
+                        seconds *= mult
+                        status = "straggler"
                 suite.add(
                     ComponentBenchmark(
                         f"frag{frag}",
-                        [
-                            ScalingObservation(
-                                int(size), self.fragment_seconds(frag, int(size), rng)
-                            )
-                        ],
+                        [ScalingObservation(int(size), seconds, status=status)],
                     )
                 )
         return suite

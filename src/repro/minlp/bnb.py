@@ -71,6 +71,24 @@ class BnBOptions:
     sos_branching: bool = True  # False: branch SOS members as plain binaries
     log: Callable[[str], None] | None = None
 
+    def with_budget(
+        self, wall_seconds: float | None = None, node_limit: int | None = None
+    ) -> "BnBOptions":
+        """A copy capped to a remaining wall/node budget (never loosened).
+
+        The solver degradation chain hands each tier whatever is left of the
+        pipeline's overall budget; limits only ever shrink so a caller's own
+        tighter settings survive.
+        """
+        from dataclasses import replace
+
+        out = replace(self)
+        if wall_seconds is not None:
+            out.time_limit = max(0.0, min(self.time_limit, float(wall_seconds)))
+        if node_limit is not None:
+            out.node_limit = max(0, min(self.node_limit, int(node_limit)))
+        return out
+
 
 class BranchAndBound:
     """Best-first branch-and-bound over a :class:`Problem`.

@@ -23,13 +23,18 @@ def solve_minlp_nlpbb(
     *,
     multistart: int = 1,
     rng: np.random.Generator | None = None,
+    time_limit: float | None = None,
 ) -> Solution:
     """Solve ``problem`` by branch-and-bound with NLP relaxations.
 
     ``multistart > 1`` restarts each node's NLP from extra random points,
     which guards against local minima on nonconvex instances at the price of
-    proportionally more NLP solves.
+    proportionally more NLP solves.  ``time_limit`` caps the wall budget
+    below whatever ``options`` carries (see the solver degradation chain in
+    :mod:`repro.core.hslb`).
     """
+    if time_limit is not None:
+        options = (options or BnBOptions()).with_budget(wall_seconds=time_limit)
 
     def relax(node_problem: Problem) -> Solution:
         return solve_nlp(node_problem, multistart=multistart, rng=rng)

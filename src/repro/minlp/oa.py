@@ -162,9 +162,17 @@ def solve_minlp_oa(
     feas_tol: float = 1e-6,
     nlp_multistart: int = 1,
     rng: np.random.Generator | None = None,
+    time_limit: float | None = None,
 ) -> Solution:
-    """Solve a convex MINLP with single-tree LP/NLP branch-and-bound."""
+    """Solve a convex MINLP with single-tree LP/NLP branch-and-bound.
+
+    ``time_limit`` caps the wall budget below whatever ``options`` carries —
+    the hook the fault-tolerant pipeline uses to hand each solver tier only
+    the remaining share of its overall budget.
+    """
     opts = options or BnBOptions()
+    if time_limit is not None:
+        opts = opts.with_budget(wall_seconds=time_limit)
     work, has_eta = _epigraph_form(problem)
     _check_convex_form(work)
     nonlin = work.nonlinear_constraints()

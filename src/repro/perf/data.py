@@ -15,17 +15,40 @@ import numpy as np
 from repro.util.validation import check_positive
 
 
+#: Observation quality labels: "ok" is a clean run, "straggler" a run that
+#: completed but was flagged as anomalously slow (fault injection or a
+#: production monitor), fit paths may prune it.
+OBSERVATION_STATUSES = ("ok", "straggler")
+
+
 @dataclass(frozen=True)
 class ScalingObservation:
-    """One benchmark run: component time ``seconds`` on ``nodes`` nodes."""
+    """One benchmark run: component time ``seconds`` on ``nodes`` nodes.
+
+    ``retries`` records how many failed attempts preceded this successful
+    run and ``status`` whether the timing is trustworthy — provenance the
+    resilient gather step attaches so downstream fitting (and anyone
+    reloading the suite from disk) can see which points came from a
+    degraded campaign.
+    """
 
     nodes: int
     seconds: float
+    retries: int = 0
+    status: str = "ok"
 
     def __post_init__(self) -> None:
         if int(self.nodes) != self.nodes or self.nodes < 1:
             raise ValueError(f"nodes must be a positive integer, got {self.nodes!r}")
         check_positive("seconds", self.seconds)
+        if self.retries < 0 or int(self.retries) != self.retries:
+            raise ValueError(f"retries must be a nonnegative integer, got {self.retries!r}")
+        if self.status not in OBSERVATION_STATUSES:
+            raise ValueError(f"unknown observation status {self.status!r}")
+
+    @property
+    def clean(self) -> bool:
+        return self.status == "ok"
 
 
 class ComponentBenchmark:
@@ -120,6 +143,23 @@ class ComponentBenchmark:
         ]
         return float(np.sqrt(np.mean(np.square(ratios)))) if ratios else 0.0
 
+    def flagged_count(self) -> int:
+        """Observations whose status is not "ok" (e.g. flagged stragglers)."""
+        return sum(1 for o in self._obs if not o.clean)
+
+    def pruned(self, *, min_points: int = 2) -> "ComponentBenchmark":
+        """Drop flagged observations, but never below ``min_points``.
+
+        Suite pruning for degraded campaigns: straggler-tagged timings are
+        outliers by construction, so the fit is better off without them —
+        unless dropping them would leave too few points to fit at all, in
+        which case the flagged data (plus a robust loss) beats no data.
+        """
+        clean = [o for o in self._obs if o.clean]
+        if len(clean) >= min_points and len(clean) < len(self._obs):
+            return ComponentBenchmark(self.component, clean)
+        return self
+
     def merged_with(self, other: "ComponentBenchmark") -> "ComponentBenchmark":
         if other.component != self.component:
             raise ValueError(
@@ -165,6 +205,23 @@ class BenchmarkSuite(Mapping[str, ComponentBenchmark]):
         if not self._by_component:
             return 0
         return min(len(b) for b in self._by_component.values())
+
+    def pruned(self, *, min_points: int = 2) -> "BenchmarkSuite":
+        """Per-component straggler pruning (see :meth:`ComponentBenchmark.pruned`)."""
+        return BenchmarkSuite(
+            b.pruned(min_points=min_points) for b in self._by_component.values()
+        )
+
+    def degenerate_components(self, *, min_points: int = 2) -> dict[str, str]:
+        """Components too thin to fit, with a human-readable reason each."""
+        out: dict[str, str] = {}
+        for name, bench in self._by_component.items():
+            if len(bench) < min_points:
+                out[name] = (
+                    f"{len(bench)} usable observation(s); fitting needs "
+                    f">= {min_points}"
+                )
+        return out
 
     def __repr__(self) -> str:
         inner = ", ".join(

@@ -264,8 +264,18 @@ def fit_suite(
     rng: np.random.Generator | None = None,
     loss: str = "linear",
     workers: int | None = None,
+    skip_degenerate: bool = False,
+    skipped: dict[str, str] | None = None,
 ) -> dict[str, FitResult]:
     """Fit every component in a suite (step 2 of the HSLB algorithm).
+
+    ``skip_degenerate`` controls what happens when a component's benchmark
+    data is degenerate (fewer than 2 usable points — e.g. after a degraded
+    gather campaign pruned its failures): by default the first such
+    component aborts the whole suite with ``ValueError``; with
+    ``skip_degenerate=True`` the component is skipped and reported (in the
+    optional ``skipped`` out-mapping, name -> reason) while every healthy
+    component still gets its fit.
 
     ``workers`` fans the per-component fits out over a process pool —
     components are independent least-squares problems, so this is
@@ -275,12 +285,20 @@ def fit_suite(
     deterministic regardless of scheduling.
     """
     rng = rng or default_rng()
-    if workers is not None and workers > 1 and len(suite) > 1:
+    degenerate = suite.degenerate_components(min_points=2)
+    if degenerate:
+        if not skip_degenerate:
+            name, reason = next(iter(sorted(degenerate.items())))
+            raise ValueError(f"component {name!r} is unfittable: {reason}")
+        if skipped is not None:
+            skipped.update(degenerate)
+    fittable = [name for name in suite if name not in degenerate]
+    if workers is not None and workers > 1 and len(fittable) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
         from repro.util.rng import spawn_rng
 
-        names = sorted(suite.components)
+        names = sorted(fittable)
         streams = spawn_rng(rng, len(names))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
@@ -299,7 +317,7 @@ def fit_suite(
         name: fit_component(
             suite[name], convex=convex, multistart=multistart, rng=rng, loss=loss
         )
-        for name in suite
+        for name in fittable
     }
 
 

@@ -28,11 +28,28 @@ import json
 import pathlib
 from collections.abc import Mapping
 
-from repro.perf.data import BenchmarkSuite, ComponentBenchmark
+from repro.perf.data import BenchmarkSuite, ComponentBenchmark, ScalingObservation
 from repro.perf.model import PerformanceModel
 
 BENCHMARKS_FORMAT = "hslb-benchmarks-v1"
 MODELS_FORMAT = "hslb-models-v1"
+
+
+def _observation_row(obs: ScalingObservation) -> list:
+    """One JSON row: ``[nodes, seconds]``, plus an annotation object when the
+    observation carries non-default failure/retry provenance.  Keeping the
+    annotation optional (and the format id unchanged) makes the extension
+    forward-compatible: files written before annotations existed still load,
+    and old readers that only look at the first two entries still work."""
+    row: list = [int(obs.nodes), float(obs.seconds)]
+    note: dict = {}
+    if obs.retries:
+        note["retries"] = int(obs.retries)
+    if obs.status != "ok":
+        note["status"] = obs.status
+    if note:
+        row.append(note)
+    return row
 
 
 def suite_to_dict(suite: BenchmarkSuite) -> dict:
@@ -40,8 +57,7 @@ def suite_to_dict(suite: BenchmarkSuite) -> dict:
     return {
         "format": BENCHMARKS_FORMAT,
         "components": {
-            name: [[int(o.nodes), float(o.seconds)] for o in suite[name]]
-            for name in suite
+            name: [_observation_row(o) for o in suite[name]] for name in suite
         },
     }
 
@@ -57,8 +73,24 @@ def suite_from_dict(payload: Mapping) -> BenchmarkSuite:
     if not isinstance(components, Mapping):
         raise ValueError("missing 'components' mapping")
     suite = BenchmarkSuite()
-    for name, pairs in components.items():
-        suite.add(ComponentBenchmark.from_pairs(name, [(n, t) for n, t in pairs]))
+    for name, rows in components.items():
+        observations = []
+        for row in rows:
+            if not 2 <= len(row) <= 3:
+                raise ValueError(f"{name}: malformed observation row {row!r}")
+            nodes, seconds = row[0], row[1]
+            ann = row[2] if len(row) == 3 else {}
+            if not isinstance(ann, Mapping):
+                raise ValueError(f"{name}: malformed annotation {ann!r}")
+            observations.append(
+                ScalingObservation(
+                    int(nodes),
+                    float(seconds),
+                    retries=int(ann.get("retries", 0)),
+                    status=str(ann.get("status", "ok")),
+                )
+            )
+        suite.add(ComponentBenchmark(name, observations))
     return suite
 
 

@@ -1,0 +1,143 @@
+"""Tests for mid-run group-loss recovery."""
+
+import pytest
+
+from repro.fmo.gddi import GroupSchedule, even_group_sizes
+from repro.fmo.molecules import water_cluster
+from repro.fmo.recovery import STRATEGIES, degradation_curve, run_with_crash
+from repro.fmo.simulator import FMOSimulator
+from repro.util.rng import default_rng
+
+
+@pytest.fixture
+def sim():
+    return FMOSimulator(water_cluster(12, default_rng(4)), noise=0.0)
+
+
+@pytest.fixture
+def schedule():
+    return GroupSchedule(
+        group_sizes=even_group_sizes(24, 4),
+        assignment=tuple(i % 4 for i in range(12)),
+        label="even-4",
+    )
+
+
+def test_validation(sim, schedule):
+    with pytest.raises(ValueError, match="unknown recovery strategy"):
+        run_with_crash(sim, schedule, crash_group=0, strategy="pray")
+    with pytest.raises(ValueError, match="out of range"):
+        run_with_crash(sim, schedule, crash_group=7)
+    with pytest.raises(ValueError, match="crash_fraction"):
+        run_with_crash(sim, schedule, crash_group=0, crash_fraction=0.0)
+    solo = GroupSchedule(group_sizes=(8,), assignment=(0,) * 12)
+    with pytest.raises(ValueError, match="whole machine"):
+        run_with_crash(sim, solo, crash_group=0)
+
+
+def test_fault_free_baseline_matches_execute(sim, schedule):
+    """The recovery simulation's fault-free makespan is exactly what a plain
+    execute with the same generator would report."""
+    out = run_with_crash(sim, schedule, crash_group=0, rng=default_rng(9))
+    run = sim.execute(schedule, default_rng(9))
+    assert out.fault_free_makespan == pytest.approx(run.makespan)
+    assert out.fragment_times == pytest.approx(run.fragment_times)
+
+
+def test_crash_accounting(sim, schedule):
+    out = run_with_crash(
+        sim, schedule, crash_group=1, crash_fraction=0.5, rng=default_rng(9)
+    )
+    dead_queue = set(schedule.fragments_of(1))
+    assert set(out.lost_fragments) | set(out.completed_before_crash) == dead_queue
+    assert set(out.lost_fragments) & set(out.completed_before_crash) == set()
+    assert out.crash_time == pytest.approx(0.5 * out.fault_free_makespan)
+    # Losing work can only lengthen the run.
+    assert out.makespan >= out.fault_free_makespan
+    assert out.degradation >= 0.0
+
+
+def test_strategy_ordering(sim, schedule):
+    """none is never better than replan; the perfect-knowledge dynamic
+    baseline is never worse than naive failover."""
+    outs = {
+        s: run_with_crash(
+            sim, schedule, crash_group=1, crash_fraction=0.5,
+            strategy=s, rng=default_rng(9),
+        )
+        for s in STRATEGIES
+    }
+    assert outs["replan"].makespan <= outs["none"].makespan + 1e-12
+    assert outs["dynamic"].makespan <= outs["none"].makespan + 1e-12
+    # All three agree on what was lost — the strategies differ only in
+    # where the pending work goes.
+    lost = {s: o.lost_fragments for s, o in outs.items()}
+    assert lost["replan"] == lost["dynamic"] == lost["none"]
+
+
+def test_none_strategy_serializes_on_first_survivor(sim, schedule):
+    out = run_with_crash(
+        sim, schedule, crash_group=0, crash_fraction=0.3,
+        strategy="none", rng=default_rng(9),
+    )
+    assert out.lost_fragments  # an early crash must lose something
+    # Group 1 is the first survivor: it absorbs every re-run serially.
+    rerun_total = sum(
+        sim.true_fragment_seconds(f, schedule.group_sizes[1])
+        for f in out.lost_fragments
+    )
+    base = max(
+        sum(out.fragment_times[f] for f in schedule.fragments_of(1)),
+        out.crash_time,
+    )
+    assert out.group_finish_times[1] == pytest.approx(base + rerun_total)
+
+
+def test_same_seed_same_outcome(sim, schedule):
+    a = run_with_crash(sim, schedule, crash_group=2, rng=default_rng(21))
+    b = run_with_crash(sim, schedule, crash_group=2, rng=default_rng(21))
+    assert a == b
+
+
+def test_late_crash_with_nothing_pending_is_free(sim):
+    """If the dead group finished its queue before the crash, the run is
+    unaffected."""
+    # Group 0 gets the single smallest fragment; a late crash finds it done.
+    times = [sim.true_fragment_seconds(f, 6) for f in range(12)]
+    smallest = times.index(min(times))
+    assignment = tuple(0 if f == smallest else 1 + f % 3 for f in range(12))
+    schedule = GroupSchedule(group_sizes=even_group_sizes(24, 4), assignment=assignment)
+    out = run_with_crash(
+        sim, schedule, crash_group=0, crash_fraction=0.95, rng=default_rng(9)
+    )
+    assert out.lost_fragments == ()
+    assert out.makespan == pytest.approx(out.fault_free_makespan)
+    assert out.degradation == pytest.approx(0.0)
+
+
+def test_degradation_curve_shapes(sim, schedule):
+    curves = degradation_curve(
+        sim, schedule, crash_group=0, fractions=(0.2, 0.8), seed=5
+    )
+    assert set(curves) == set(STRATEGIES)
+    for outcomes in curves.values():
+        assert [o.crash_time / o.fault_free_makespan for o in outcomes] == (
+            pytest.approx([0.2, 0.8])
+        )
+    # A later crash loses no more work than an earlier one (same run).
+    for s in STRATEGIES:
+        early, late = curves[s]
+        assert len(late.lost_fragments) <= len(early.lost_fragments)
+
+
+def test_noise_draws_rerun_jitter():
+    """With noise on, re-run durations are jittered but still deterministic."""
+    noisy = FMOSimulator(water_cluster(12, default_rng(4)), noise=0.05)
+    schedule = GroupSchedule(
+        group_sizes=even_group_sizes(24, 4),
+        assignment=tuple(i % 4 for i in range(12)),
+    )
+    a = run_with_crash(noisy, schedule, crash_group=1, rng=default_rng(3))
+    b = run_with_crash(noisy, schedule, crash_group=1, rng=default_rng(3))
+    assert a.makespan == b.makespan
+    assert a.lost_fragments == b.lost_fragments

@@ -131,3 +131,82 @@ def test_export_ampl_to_file(tmp_path, capsys):
 def test_entrypoint_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_optimize_with_fault_flags(capsys):
+    code = main(
+        [
+            "--seed", "3",
+            "optimize", "--resolution", "1deg", "--nodes", "64",
+            "--benchmarks", "16", "32", "64", "256",
+            "--fail-rate", "0.1", "--straggler-rate", "0.05",
+            "--crash-component", "ocn",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    # The plan is echoed up front so the run is reproducible from the log.
+    assert "fault plan: FaultPlan(seed=0, fail=10%, straggler=5%" in out
+    assert "crash=ocn@50%" in out
+    assert "TOTAL" in out  # the pipeline still completed
+    assert "recovery: lost" in out and "'ocn'" in out
+    assert "solver: oa" in out or "solver: nlpbb" in out or "solver: greedy" in out
+
+
+def test_optimize_without_fault_flags_has_no_plan_header(capsys):
+    assert main(
+        ["--seed", "3", "optimize", "--resolution", "1deg", "--nodes", "64",
+         "--benchmarks", "16", "32", "64", "256"]
+    ) == 0
+    assert "fault plan:" not in capsys.readouterr().out
+
+
+def test_fmo_with_crash_group(capsys):
+    code = main(
+        ["--seed", "1", "fmo", "--fragments", "6", "--nodes", "64",
+         "--crash-group", "1"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fault plan:" in out
+    assert "group 1 lost 50% into the run" in out
+    # Strategy comparison table lists all three recovery strategies.
+    for strategy in ("replan", "dynamic", "none"):
+        assert strategy in out
+    assert "vs fault-free" in out
+
+
+def test_fmo_crash_group_out_of_range(capsys):
+    code = main(
+        ["--seed", "1", "fmo", "--fragments", "6", "--nodes", "64",
+         "--crash-group", "9"]
+    )
+    assert code == 2
+    assert "--crash-group must be in" in capsys.readouterr().err
+
+
+def test_fmo_fault_seed_changes_plan_echo(capsys):
+    assert main(
+        ["--seed", "1", "fmo", "--fragments", "6", "--nodes", "64",
+         "--fail-rate", "0.2", "--fault-seed", "42"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "fault plan: FaultPlan(seed=42, fail=20%" in out
+
+
+def test_fault_rate_out_of_range_is_a_clean_error(capsys):
+    code = main(
+        ["--seed", "3", "optimize", "--resolution", "1deg", "--nodes", "64",
+         "--benchmarks", "16", "32", "64", "--fail-rate", "1.5"]
+    )
+    assert code == 2
+    assert "fail_rate must be in [0, 1)" in capsys.readouterr().err
+
+
+def test_fmo_crash_fraction_out_of_range_is_a_clean_error(capsys):
+    code = main(
+        ["--seed", "1", "fmo", "--fragments", "6", "--nodes", "64",
+         "--crash-group", "0", "--crash-fraction", "2.0"]
+    )
+    assert code == 2
+    assert "crash_fraction" in capsys.readouterr().err
