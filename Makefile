@@ -1,35 +1,44 @@
 # Convenience targets for the HSLB reproduction.
+#
+# Every target that imports the library sets PYTHONPATH=src, so targets work
+# uniformly from a bare checkout with no install step.
 
 PYTHON ?= python
 
-.PHONY: install test bench faults-bench examples reports clean
+.PHONY: install test bench faults-bench service-bench examples reports clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Fault-injection degradation curves; writes
 # benchmarks/out/faults_degradation.txt and faults_pipeline.txt.
 faults-bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_faults.py --benchmark-only
 
+# Allocation-service throughput/warm-start benchmark; writes
+# benchmarks/out/service_throughput.txt and service_warm_start.txt.
+service-bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_service.py --benchmark-only
+
 # Regenerate every paper table/figure and print the saved reports.
 reports: bench
 	@for f in benchmarks/out/*.txt; do echo "=== $$f"; cat $$f; echo; done
 
 examples:
-	$(PYTHON) examples/quickstart.py
-	$(PYTHON) examples/fmo_fragments.py
-	$(PYTHON) examples/custom_application.py
-	$(PYTHON) examples/solver_tour.py
-	$(PYTHON) examples/job_size_prediction.py
-	$(PYTHON) examples/cesm_high_resolution.py
-	$(PYTHON) examples/fault_injection.py
+	PYTHONPATH=src $(PYTHON) examples/quickstart.py
+	PYTHONPATH=src $(PYTHON) examples/fmo_fragments.py
+	PYTHONPATH=src $(PYTHON) examples/custom_application.py
+	PYTHONPATH=src $(PYTHON) examples/solver_tour.py
+	PYTHONPATH=src $(PYTHON) examples/job_size_prediction.py
+	PYTHONPATH=src $(PYTHON) examples/cesm_high_resolution.py
+	PYTHONPATH=src $(PYTHON) examples/fault_injection.py
+	PYTHONPATH=src $(PYTHON) examples/allocation_service.py
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache

@@ -1,0 +1,180 @@
+"""Allocation-service benchmark: throughput and correctness on a Zipf mix.
+
+Real allocation traffic is heavy-tailed — a handful of production
+configurations (same fitted curves, same machine size) dominate the request
+stream, with a long tail of one-off what-ifs.  We model it as Zipf-weighted
+draws over a pool of distinct requests (three curve families x several node
+budgets) and pin the service-layer claims:
+
+* **S1 throughput** — answering the mix through the service is >= 5x faster
+  than solving every request fresh, and the cache hit rate is nonzero;
+* **S2 bit-identity** — replaying the distinct-request sequence through a
+  fresh service reproduces every cached answer exactly (allocation and
+  objective), because solves are fingerprint-seeded and deterministic;
+* **S3 warm starts** — within a request family, warm-started neighbor
+  solves do measurably less solver work than cold ones.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.perf.model import PerformanceModel
+from repro.service import AllocationService, ComponentSpec, SolveRequest, solve_request
+from repro.util.rng import default_rng
+
+#: Three curve families: CESM-ish coupled components at different scales.
+FAMILIES = {
+    "coupled-small": {
+        "atm": dict(a=1200.0, b=0.5, c=1.1, d=2.0),
+        "ocn": dict(a=800.0, b=0.3, c=1.2, d=1.0),
+        "ice": dict(a=300.0, b=0.2, c=1.0, d=0.5),
+    },
+    "coupled-large": {
+        "atm": dict(a=9600.0, b=0.8, c=1.1, d=4.0),
+        "ocn": dict(a=6400.0, b=0.5, c=1.2, d=2.0),
+        "ice": dict(a=2400.0, b=0.3, c=1.0, d=1.0),
+    },
+    "two-component": {
+        "frag": dict(a=2000.0, b=0.4, c=1.1, d=1.0),
+        "esp": dict(a=500.0, b=0.1, c=1.0, d=0.5),
+    },
+}
+BUDGETS = (48, 64, 72, 96)
+N_DRAWS = 60
+ZIPF_EXPONENT = 1.1
+
+
+def request_pool() -> list[SolveRequest]:
+    pool = []
+    for curves in FAMILIES.values():
+        components = {
+            name: ComponentSpec(model=PerformanceModel(**params))
+            for name, params in curves.items()
+        }
+        for budget in BUDGETS:
+            pool.append(SolveRequest(components=components, total_nodes=budget))
+    return pool
+
+
+def zipf_mix(pool: list[SolveRequest], n_draws: int = N_DRAWS) -> list[SolveRequest]:
+    """Zipf-weighted draws: rank-r request drawn with weight 1/r^s."""
+    rng = default_rng(7)
+    weights = 1.0 / np.arange(1, len(pool) + 1) ** ZIPF_EXPONENT
+    weights /= weights.sum()
+    return [pool[i] for i in rng.choice(len(pool), size=n_draws, p=weights)]
+
+
+def run_service_benchmark(n_draws: int = N_DRAWS) -> dict:
+    mix = zipf_mix(request_pool(), n_draws)
+
+    service = AllocationService()
+    t0 = time.perf_counter()
+    responses = [service.submit(r) for r in mix]
+    service_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fresh = [solve_request(r) for r in mix]
+    fresh_time = time.perf_counter() - t0
+
+    # Replay the distinct-request sequence (first occurrences, in order)
+    # through a brand-new service: cached answers must be bit-identical.
+    seen: dict[str, SolveRequest] = {}
+    for r in mix:
+        seen.setdefault(r.fingerprint(), r)
+    replay = AllocationService()
+    mismatches = 0
+    for fp, r in seen.items():
+        again = replay.submit(r)
+        stored = service.cache.peek(fp)
+        if stored is None:
+            continue  # evicted (capacity is far above the pool size here)
+        if again.allocation != stored.allocation or again.objective != stored.objective:
+            mismatches += 1
+
+    snap = service.metrics.snapshot()
+    return {
+        "n_draws": n_draws,
+        "distinct": len(seen),
+        "service_time": service_time,
+        "fresh_time": fresh_time,
+        "speedup": fresh_time / service_time,
+        "hit_rate": snap["hit_rate"],
+        "warm_start_speedup": snap["warm_start_speedup"],
+        "replay_mismatches": mismatches,
+        "all_ok": all(r.ok for r in responses)
+        and all(f.allocation for f in fresh),
+    }
+
+
+def render(result: dict) -> str:
+    lines = [
+        "allocation service on a Zipf request mix",
+        f"  draws / distinct     : {result['n_draws']} / {result['distinct']}",
+        f"  fresh solve time     : {result['fresh_time']:.2f}s",
+        f"  service time         : {result['service_time']:.2f}s",
+        f"  throughput speedup   : {result['speedup']:.1f}x",
+        f"  cache hit rate       : {result['hit_rate']:.1%}",
+        f"  warm-start speedup   : {result['warm_start_speedup']:.2f}x",
+        f"  replay mismatches    : {result['replay_mismatches']}",
+    ]
+    return "\n".join(lines)
+
+
+def test_s1_service_throughput(benchmark, save_report):
+    result = benchmark.pedantic(run_service_benchmark, rounds=1, iterations=1)
+    save_report("service_throughput", render(result))
+    assert result["all_ok"]
+    # The headline service claim: >= 5x throughput on the Zipf mix.
+    assert result["speedup"] >= 5.0, f"only {result['speedup']:.1f}x"
+    assert result["hit_rate"] > 0.0
+    # S2: cached answers are bit-identical to fresh solves of the same
+    # request sequence by an identical service.
+    assert result["replay_mismatches"] == 0
+
+
+def test_s3_family_warm_start(benchmark, save_report):
+    def run() -> dict:
+        pool = request_pool()
+        service = AllocationService()
+        cold_work = {}
+        warm_work = {}
+        for curves_name, curves in FAMILIES.items():
+            components = {
+                name: ComponentSpec(model=PerformanceModel(**params))
+                for name, params in curves.items()
+            }
+            reqs = [
+                SolveRequest(components=components, total_nodes=b) for b in BUDGETS
+            ]
+            # Cold baseline: every budget solved with no donors available.
+            cold_work[curves_name] = sum(
+                solve_request(r).iterations for r in reqs[1:]
+            )
+            # Service path: the first budget seeds the rest of the family.
+            for r in reqs:
+                service.submit(r)
+            warm_work[curves_name] = sum(
+                service.cache.peek(r.fingerprint()).iterations for r in reqs[1:]
+            )
+        return {
+            "pool": len(pool),
+            "cold": cold_work,
+            "warm": warm_work,
+            "speedup": service.metrics.warm_start_speedup,
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["warm-start iteration counts per family (budgets after the first)"]
+    for name in result["cold"]:
+        lines.append(
+            f"  {name:15s} cold {result['cold'][name]:4d}  "
+            f"warm {result['warm'][name]:4d}"
+        )
+    lines.append(f"  aggregate warm-start speedup: {result['speedup']:.2f}x")
+    save_report("service_warm_start", "\n".join(lines))
+    total_cold = sum(result["cold"].values())
+    total_warm = sum(result["warm"].values())
+    assert total_warm < total_cold, f"warm {total_warm} !< cold {total_cold}"

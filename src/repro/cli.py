@@ -5,8 +5,15 @@ Subcommands:
 * ``hslb optimize``   — run the HSLB pipeline on a CESM configuration and
   print the Table-III-style allocation report;
 * ``hslb fmo``        — run HSLB and the baselines on a synthetic FMO system;
+* ``hslb serve``      — allocation service: JSONL requests on stdin, JSONL
+  answers on stdout (cached + warm-started);
+* ``hslb batch``      — answer a JSON file of allocation requests in one
+  deduplicated, donor-ordered batch;
 * ``hslb experiment`` — run any registered paper experiment by id;
 * ``hslb list``       — list available experiments.
+
+``optimize`` and ``fmo`` take ``--json`` for machine-readable output; exit
+codes are identical either way.
 """
 
 from __future__ import annotations
@@ -51,6 +58,33 @@ def _fault_plan_from_args(args: argparse.Namespace, **crash: object):
         fail_rate=args.fail_rate,
         straggler_rate=args.straggler_rate,
         **crash,
+    )
+
+
+def _add_service_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("allocation service (repro.service)")
+    group.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=256,
+        help="LRU solution-cache capacity",
+    )
+    group.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        help="cache entry time-to-live in seconds (default: no expiry)",
+    )
+    group.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="disable warm-starting misses from cached neighbor solutions",
+    )
+    group.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request wall deadline in seconds",
     )
 
 
@@ -117,6 +151,11 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="skip the gather step and reuse a saved campaign (§III-F)",
     )
+    opt.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report instead of tables",
+    )
     _add_fault_args(opt)
     opt.add_argument(
         "--crash-component",
@@ -134,6 +173,11 @@ def _build_parser() -> argparse.ArgumentParser:
         default="protein",
         help="synthetic molecular system kind",
     )
+    fmo.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report instead of tables",
+    )
     _add_fault_args(fmo)
     fmo.add_argument(
         "--crash-group",
@@ -146,6 +190,35 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.5,
         help="when the crash hits, as a fraction of the fault-free makespan",
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help="allocation service: JSONL requests in, JSONL answers out",
+    )
+    _add_service_args(srv)
+
+    bat = sub.add_parser(
+        "batch", help="answer a JSON file of allocation requests in one batch"
+    )
+    bat.add_argument("requests", help="path to a JSON array of request objects")
+    _add_service_args(bat)
+    bat.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool size for fan-out (0 = solve in-process)",
+    )
+    bat.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="admission limit; larger batches are refused (backpressure)",
+    )
+    bat.add_argument(
+        "--metrics",
+        action="store_true",
+        help="append a final {'metrics': ...} JSONL line to stdout",
     )
 
     exp = sub.add_parser("experiment", help="run a registered paper experiment")
@@ -186,20 +259,23 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     else:
         config = eighth_degree(constrained_ocean=not args.free_ocean)
     layout = Layout(args.layout)
+    # With --json, stdout carries exactly one JSON document; progress chatter
+    # moves to stderr so pipelines can parse the output unconditionally.
+    info = sys.stderr if args.json else sys.stdout
     try:
         plan = _fault_plan_from_args(args, crash_component=args.crash_component)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
     if plan is not None:
-        print(f"fault plan: {plan.describe()}\n")
+        print(f"fault plan: {plan.describe()}\n", file=info)
     app = CESMApplication(config, layout=layout, tsync=args.tsync, faults=plan)
     if args.auto_campaign:
         from repro.cesm.campaign import plan_campaign
 
         cap = max(args.nodes * 4, args.nodes + 1)
         bench = list(plan_campaign(config, max_nodes=min(cap, config.machine_nodes)))
-        print(f"planned gather campaign: {bench}\n")
+        print(f"planned gather campaign: {bench}\n", file=info)
     else:
         bench = args.benchmarks or list(BENCHMARK_CAMPAIGN[args.resolution])
     rng = default_rng(args.seed)
@@ -215,9 +291,53 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         from repro.perf.io import save_suite
 
         save_suite(suite, args.save_benchmarks)
-        print(f"benchmark campaign saved to {args.save_benchmarks}\n")
+        print(f"benchmark campaign saved to {args.save_benchmarks}\n", file=info)
     fits = optimizer.fit(suite, rng)
     result = optimizer.run_from_fits(fits, args.nodes, rng)
+    if args.json:
+        import json
+
+        stats = result.solution.stats
+        doc = {
+            "config": config.name,
+            "nodes": int(args.nodes),
+            "layout": int(args.layout),
+            "allocation": {k: int(v) for k, v in result.allocation.items()},
+            "predicted_times": {
+                k: float(v) for k, v in result.predicted_times.items()
+            },
+            "predicted_total": float(result.predicted_total),
+            "actual_total": (
+                None if result.actual_total is None else float(result.actual_total)
+            ),
+            "prediction_error": (
+                None
+                if result.prediction_error is None
+                else float(result.prediction_error)
+            ),
+            "degraded": result.degraded,
+            "solver": {
+                "status": result.solution.status.value,
+                "tier": result.solver_tier,
+                "nodes_explored": int(stats.nodes_explored),
+                "nlp_solves": int(stats.nlp_solves),
+                "cuts_added": int(stats.cuts_added),
+                "wall_time": float(stats.wall_time),
+            },
+        }
+        if plan is not None:
+            doc["fault_plan"] = plan.describe()
+        if args.compare_manual and layout is Layout.HYBRID:
+            manual = manual_optimization(app.simulator, args.nodes, rng)
+            summary = speedup_summary(manual.execution, result)
+            doc["manual"] = {
+                "allocation": {k: int(v) for k, v in manual.allocation.items()},
+                "total": float(manual.execution.total_time),
+                "executions_burned": int(manual.executions_burned),
+                "improvement_pct": float(summary.get("improvement_pct", 0.0)),
+            }
+        print(json.dumps(doc, indent=2))
+        return 0
     if args.compare_manual and layout is Layout.HYBRID:
         manual = manual_optimization(app.simulator, args.nodes, rng)
         print(
@@ -269,6 +389,7 @@ def _cmd_fmo(args: argparse.Namespace) -> int:
         if args.system == "protein"
         else water_cluster(args.fragments, rng)
     )
+    info = sys.stderr if args.json else sys.stdout
     try:
         plan = _fault_plan_from_args(
             args,
@@ -281,7 +402,7 @@ def _cmd_fmo(args: argparse.Namespace) -> int:
         print(exc, file=sys.stderr)
         return 2
     if plan is not None:
-        print(f"fault plan: {plan.describe()}\n")
+        print(f"fault plan: {plan.describe()}\n", file=info)
     sim = FMOSimulator(system, faults=plan)
     hs, sol = hslb_schedule(system, args.nodes)
     rows = []
@@ -292,14 +413,7 @@ def _cmd_fmo(args: argparse.Namespace) -> int:
     ):
         run = sim.execute(sched, default_rng(args.seed))
         rows.append([sched.label, run.makespan, run.load_imbalance])
-    print(
-        format_table(
-            ["scheduler", "makespan s", "load imbalance"],
-            rows,
-            title=f"{system.name} on {args.nodes} nodes",
-        )
-    )
-    print(f"\nHSLB group sizes: {hs.group_sizes} (predicted {sol.objective:.2f}s)")
+    recovery_rows = None
     if plan is not None and plan.crash_group is not None:
         from repro.fmo.recovery import STRATEGIES, run_with_crash
 
@@ -312,7 +426,7 @@ def _cmd_fmo(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        rows = []
+        recovery_rows = []
         for strategy in STRATEGIES:
             out = run_with_crash(
                 sim,
@@ -322,12 +436,57 @@ def _cmd_fmo(args: argparse.Namespace) -> int:
                 strategy=strategy,
                 rng=default_rng(args.seed),
             )
-            rows.append([strategy, out.makespan, f"{out.degradation:+.1%}"])
+            recovery_rows.append([strategy, out.makespan, out.degradation])
+    if args.json:
+        import json
+
+        doc = {
+            "system": system.name,
+            "nodes": int(args.nodes),
+            "fragments": int(args.fragments),
+            "schedulers": [
+                {
+                    "label": label,
+                    "makespan": float(makespan),
+                    "load_imbalance": float(imbalance),
+                }
+                for label, makespan, imbalance in rows
+            ],
+            "hslb": {
+                "group_sizes": [int(g) for g in hs.group_sizes],
+                "predicted": float(sol.objective),
+            },
+        }
+        if plan is not None:
+            doc["fault_plan"] = plan.describe()
+        if recovery_rows is not None:
+            doc["recovery"] = [
+                {
+                    "strategy": strategy,
+                    "makespan": float(makespan),
+                    "degradation": float(degradation),
+                }
+                for strategy, makespan, degradation in recovery_rows
+            ]
+        print(json.dumps(doc, indent=2))
+        return 0
+    print(
+        format_table(
+            ["scheduler", "makespan s", "load imbalance"],
+            rows,
+            title=f"{system.name} on {args.nodes} nodes",
+        )
+    )
+    print(f"\nHSLB group sizes: {hs.group_sizes} (predicted {sol.objective:.2f}s)")
+    if recovery_rows is not None:
         print(
             "\n"
             + format_table(
                 ["recovery", "makespan s", "vs fault-free"],
-                rows,
+                [
+                    [strategy, makespan, f"{degradation:+.1%}"]
+                    for strategy, makespan, degradation in recovery_rows
+                ],
                 title=(
                     f"group {plan.crash_group} lost "
                     f"{100 * plan.crash_fraction:.0f}% into the run "
@@ -336,6 +495,70 @@ def _cmd_fmo(args: argparse.Namespace) -> int:
             )
         )
     return 0
+
+
+def _service_from_args(args: argparse.Namespace):
+    from repro.service import AllocationService
+
+    return AllocationService(
+        cache_capacity=args.cache_capacity,
+        ttl=args.ttl,
+        warm_start=not args.no_warm_start,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve_loop
+
+    service = _service_from_args(args)
+    served = serve_loop(service, sys.stdin, sys.stdout, deadline=args.deadline)
+    print(f"served {served} request(s)", file=sys.stderr)
+    print(service.metrics.render(), file=sys.stderr)
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import (
+        BatchExecutor,
+        ServiceOverloadError,
+        ServiceRequestError,
+        SolveRequest,
+    )
+
+    try:
+        with open(args.requests) as fh:
+            payloads = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read {args.requests}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(payloads, list):
+        print(f"{args.requests} must hold a JSON array of requests", file=sys.stderr)
+        return 2
+    try:
+        requests = [SolveRequest.from_dict(p) for p in payloads]
+    except ServiceRequestError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    service = _service_from_args(args)
+    executor = BatchExecutor(
+        service,
+        max_workers=args.workers,
+        deadline=args.deadline,
+        max_pending=args.max_pending,
+    )
+    try:
+        responses = executor.run(requests)
+    except ServiceOverloadError as exc:
+        print(str(exc), file=sys.stderr)
+        return 3
+    for response in responses:
+        print(json.dumps(response.to_dict()))
+    if args.metrics:
+        print(json.dumps({"metrics": service.metrics.snapshot()}))
+    print(service.metrics.render(), file=sys.stderr)
+    return 0 if all(r.ok for r in responses) else 1
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -393,6 +616,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_optimize(args)
     if args.command == "fmo":
         return _cmd_fmo(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "export":

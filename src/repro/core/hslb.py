@@ -211,6 +211,13 @@ class HSLBConfig:
     aborting, and ``solver_wall_budget`` caps the *total* wall-clock the
     degradation chain may spend across all MINLP tiers before the greedy
     fallback takes over (None: each tier keeps its own ``bnb.time_limit``).
+
+    ``warm_start`` feeds the greedy primal heuristic's allocation into the
+    MINLP tiers as an ``x0`` (see :func:`repro.minlp.heuristics.\
+warm_start_incumbent`), pruning the tree from node one.  Off by default so
+    the classic pipeline stays bit-identical to the paper runs; the
+    allocation service (:mod:`repro.service`) turns it on and also threads
+    neighboring cached solutions through the same hook.
     """
 
     convex_fit: bool = True
@@ -223,6 +230,7 @@ class HSLBConfig:
     prune_stragglers: bool = True
     fit_skip_degenerate: bool = False
     solver_wall_budget: float | None = None
+    warm_start: bool = False
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("oa", "nlpbb"):
@@ -441,6 +449,8 @@ class HSLBOptimizer:
         fits: Mapping[str, FitResult] | Mapping[str, PerformanceModel],
         total_nodes: int,
         rng: np.random.Generator | None = None,
+        *,
+        x0: Mapping[str, float] | None = None,
     ) -> tuple[Allocation, Solution]:
         """Solve the allocation MINLP for a machine of ``total_nodes``.
 
@@ -449,6 +459,11 @@ class HSLBOptimizer:
         the reason for every fallback are stored in
         :attr:`last_provenance` and threaded onto :class:`HSLBResult` by the
         pipeline entry points.
+
+        ``x0`` is an explicit warm-start point handed to every MINLP tier
+        (the allocation service passes neighboring cached solutions here);
+        with ``config.warm_start`` set and no explicit point, the greedy
+        primal heuristic's allocation is used instead.
         """
         models = {
             name: (f.model if isinstance(f, FitResult) else f)
@@ -456,10 +471,22 @@ class HSLBOptimizer:
         }
         problem = self.app.formulate(models, int(total_nodes))
         allocation, solution, provenance = self._solve_chain(
-            problem, models, int(total_nodes), rng
+            problem, models, int(total_nodes), rng, x0=x0
         )
         self.last_provenance = provenance
         return allocation, solution
+
+    def _warm_start_point(
+        self,
+        models: Mapping[str, PerformanceModel],
+        total_nodes: int,
+    ) -> dict[str, float] | None:
+        """The greedy primal heuristic's allocation as a (partial) ``x0``."""
+        try:
+            allocation = self.app.fallback_allocation(models, total_nodes)
+        except (ValueError, RuntimeError):
+            return None
+        return {f"n_{name}": float(count) for name, count in allocation.items()}
 
     def _tiers(self) -> list[str]:
         if self.app.requires_nonconvex_solver:
@@ -475,15 +502,20 @@ class HSLBOptimizer:
         problem: Problem,
         opts: BnBOptions,
         rng: np.random.Generator | None,
+        x0: dict[str, float] | None = None,
     ) -> Solution:
         if tier == "oa":
             return solve_minlp_oa(
-                problem, opts, nlp_multistart=self.config.nlp_multistart, rng=rng
+                problem,
+                opts,
+                nlp_multistart=self.config.nlp_multistart,
+                rng=rng,
+                x0=x0,
             )
         multistart = self.config.nlp_multistart
         if self.app.requires_nonconvex_solver:
             multistart = max(multistart, 3)
-        return solve_minlp_nlpbb(problem, opts, multistart=multistart, rng=rng)
+        return solve_minlp_nlpbb(problem, opts, multistart=multistart, rng=rng, x0=x0)
 
     def _solve_chain(
         self,
@@ -491,9 +523,13 @@ class HSLBOptimizer:
         models: Mapping[str, PerformanceModel],
         total_nodes: int,
         rng: np.random.Generator | None,
+        x0: Mapping[str, float] | None = None,
     ) -> tuple[Allocation, Solution, SolverProvenance]:
         plan = getattr(self.app, "fault_plan", None)
         budget = self.config.solver_wall_budget
+        warm = dict(x0) if x0 is not None else None
+        if warm is None and self.config.warm_start:
+            warm = self._warm_start_point(models, total_nodes)
         start = time.perf_counter()
         attempts: list[SolverAttempt] = []
         for tier in self._tiers():
@@ -511,7 +547,7 @@ class HSLBOptimizer:
             opts = self.config.bnb.with_budget(wall_seconds=remaining)
             tick = time.perf_counter()
             try:
-                sol = self._solve_tier(tier, problem, opts, rng)
+                sol = self._solve_tier(tier, problem, opts, rng, x0=warm)
             except (ValueError, RuntimeError, FloatingPointError) as exc:
                 attempts.append(
                     SolverAttempt(
@@ -594,10 +630,11 @@ class HSLBOptimizer:
         rng: np.random.Generator | None = None,
         *,
         execute: bool = True,
+        x0: Mapping[str, float] | None = None,
     ) -> HSLBResult:
         """Steps 3–4 when benchmark data/fits already exist."""
         rng = rng or default_rng()
-        allocation, solution = self.solve(fits, total_nodes, rng)
+        allocation, solution = self.solve(fits, total_nodes, rng, x0=x0)
         models = {name: f.model for name, f in fits.items()}
         predicted = self.app.predicted_times(models, allocation)
         result = HSLBResult(

@@ -36,7 +36,11 @@ from repro.minlp.expr import (
     sqrt,
     sum_exprs,
 )
-from repro.minlp.heuristics import diving_heuristic, rounding_heuristic
+from repro.minlp.heuristics import (
+    diving_heuristic,
+    rounding_heuristic,
+    warm_start_incumbent,
+)
 from repro.minlp.linprog import LinearProgram, solve_lp, solve_problem_lp
 from repro.minlp.milp import solve_milp
 from repro.minlp.modeling import Model
@@ -85,6 +89,7 @@ __all__ = [
     "solve_problem_lp",
     "sqrt",
     "sum_exprs",
+    "warm_start_incumbent",
 ]
 
 
@@ -94,6 +99,7 @@ def solve(
     *,
     algorithm: str = "auto",
     rng: np.random.Generator | None = None,
+    x0: dict[str, float] | None = None,
 ) -> Solution:
     """Solve ``problem`` with an automatically (or explicitly) chosen algorithm.
 
@@ -103,24 +109,27 @@ def solve(
     nonlinear lower-bounded constraints OA cannot relax safely).
     Explicit choices: ``"milp"``, ``"nlp"``, ``"oa"``, ``"oa-multitree"``,
     ``"nlpbb"``, ``"brute"``.
+
+    ``x0`` is an optional (possibly partial) warm-start point, honored by
+    the NLP, OA, and NLP-B&B routes and ignored by the rest.
     """
     if algorithm == "auto":
         if problem.is_linear():
             return solve_milp(problem, options) if problem.is_mip() else solve_problem_lp(problem)
         if not problem.is_mip():
-            return solve_nlp(problem, rng=rng)
+            return solve_nlp(problem, x0=x0, rng=rng)
         try:
-            return solve_minlp_oa(problem, options, rng=rng)
+            return solve_minlp_oa(problem, options, rng=rng, x0=x0)
         except ValueError:
-            return solve_minlp_nlpbb(problem, options, rng=rng)
+            return solve_minlp_nlpbb(problem, options, rng=rng, x0=x0)
     dispatch = {
         "milp": lambda: solve_milp(problem, options),
         "lp": lambda: solve_problem_lp(problem),
-        "nlp": lambda: solve_nlp(problem, rng=rng),
-        "oa": lambda: solve_minlp_oa(problem, options, rng=rng),
+        "nlp": lambda: solve_nlp(problem, x0=x0, rng=rng),
+        "oa": lambda: solve_minlp_oa(problem, options, rng=rng, x0=x0),
         "oa-multitree": lambda: solve_minlp_oa_multitree(problem, options, rng=rng),
         "ecp": lambda: solve_minlp_ecp(problem, options),
-        "nlpbb": lambda: solve_minlp_nlpbb(problem, options, rng=rng),
+        "nlpbb": lambda: solve_minlp_nlpbb(problem, options, rng=rng, x0=x0),
         "brute": lambda: solve_brute_force(problem, rng=rng),
     }
     try:

@@ -103,10 +103,16 @@ class BranchAndBound:
         relax_solver: RelaxSolver | str,
         options: BnBOptions | None = None,
         lazy_cuts: LazyCutCallback | None = None,
+        incumbent: tuple[dict[str, float], float] | None = None,
     ) -> None:
         self.problem = problem
         self.opts = options or BnBOptions()
         self.lazy_cuts = lazy_cuts
+        #: Optional warm-start incumbent ``(values, objective)``.  The point
+        #: must be feasible for ``problem`` (callers certify it, e.g. via
+        #: :func:`repro.minlp.heuristics.warm_start_incumbent`); the tree
+        #: then starts with a finite primal bound and prunes from node one.
+        self.initial_incumbent = incumbent
         self._sign = -1.0 if problem.sense is Sense.MAXIMIZE else 1.0
         self._cuts: list[tuple[str, Expr, float, float]] = []
         self._cut_names: set[str] = set()
@@ -272,6 +278,12 @@ class BranchAndBound:
 
         incumbent: dict[str, float] | None = None
         incumbent_obj = math.inf  # in minimize-sign space
+        if self.initial_incumbent is not None:
+            values, obj = self.initial_incumbent
+            incumbent = dict(values)
+            incumbent_obj = sign * float(obj)
+            if opts.log:
+                opts.log(f"warm-start incumbent {obj:.6g}")
 
         counter = itertools.count()
         root = _Node({}, {}, -math.inf, 0)

@@ -202,7 +202,13 @@ def solve_nlp(
     starts: list[np.ndarray] = []
     if x0 is not None:
         if isinstance(x0, dict):
-            starts.append(np.array([float(x0[n]) for n in names]))
+            # Partial warm starts are fine: unnamed variables begin at the
+            # default midpoint, and out-of-bounds donor values are clipped.
+            defaults = _initial_point(problem)
+            point = np.array(
+                [float(x0.get(n, d)) for n, d in zip(names, defaults)]
+            )
+            starts.append(np.clip(point, lo, hi))
         else:
             starts.append(np.asarray(x0, dtype=float))
     else:

@@ -24,6 +24,7 @@ def solve_minlp_nlpbb(
     multistart: int = 1,
     rng: np.random.Generator | None = None,
     time_limit: float | None = None,
+    x0: dict[str, float] | None = None,
 ) -> Solution:
     """Solve ``problem`` by branch-and-bound with NLP relaxations.
 
@@ -32,12 +33,24 @@ def solve_minlp_nlpbb(
     proportionally more NLP solves.  ``time_limit`` caps the wall budget
     below whatever ``options`` carries (see the solver degradation chain in
     :mod:`repro.core.hslb`).
+
+    ``x0`` warm-starts the tree: the (possibly partial) point is completed
+    into a feasible incumbent before the search (finite primal bound from
+    node one) and seeds every node relaxation's NLP solve.
     """
     if time_limit is not None:
         options = (options or BnBOptions()).with_budget(wall_seconds=time_limit)
 
-    def relax(node_problem: Problem) -> Solution:
-        return solve_nlp(node_problem, multistart=multistart, rng=rng)
+    incumbent: tuple[dict[str, float], float] | None = None
+    if x0 is not None:
+        from repro.minlp.heuristics import warm_start_incumbent
 
-    engine = BranchAndBound(problem, relax, options)
+        warm = warm_start_incumbent(problem, x0, nlp_multistart=multistart, rng=rng)
+        if warm.status.is_ok:
+            incumbent = (dict(warm.values), float(warm.objective))
+
+    def relax(node_problem: Problem) -> Solution:
+        return solve_nlp(node_problem, x0=x0, multistart=multistart, rng=rng)
+
+    engine = BranchAndBound(problem, relax, options, incumbent=incumbent)
     return engine.solve()

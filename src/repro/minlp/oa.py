@@ -163,12 +163,19 @@ def solve_minlp_oa(
     nlp_multistart: int = 1,
     rng: np.random.Generator | None = None,
     time_limit: float | None = None,
+    x0: dict[str, float] | None = None,
 ) -> Solution:
     """Solve a convex MINLP with single-tree LP/NLP branch-and-bound.
 
     ``time_limit`` caps the wall budget below whatever ``options`` carries —
     the hook the fault-tolerant pipeline uses to hand each solver tier only
     the remaining share of its overall budget.
+
+    ``x0`` warm-starts the search: the (possibly partial) point seeds the
+    root relaxation, is completed into a feasible incumbent (so the tree
+    prunes against a finite primal bound from node one), and contributes OA
+    cuts at the incumbent before the first master solve.  An infeasible or
+    useless ``x0`` costs two small NLP solves and is otherwise ignored.
     """
     opts = options or BnBOptions()
     if time_limit is not None:
@@ -185,7 +192,7 @@ def solve_minlp_oa(
 
     # Root relaxation: continuous NLP over the full model.  Its solution
     # seeds the initial linearizations so the first master is meaningful.
-    root = solve_nlp(work, multistart=nlp_multistart, rng=rng)
+    root = solve_nlp(work, x0=x0, multistart=nlp_multistart, rng=rng)
     stats.merge(root.stats)
     if root.status is Status.INFEASIBLE:
         # The continuous relaxation is infeasible => the MINLP is infeasible
@@ -199,6 +206,33 @@ def solve_minlp_oa(
         name, body, lb, ub = _cut_for(con, root.values, f"oa{next(cut_counter)}")
         master.add_constraint(name, body, lb, ub)
         stats.cuts_added += 1
+
+    incumbent: tuple[dict[str, float], float] | None = None
+    if x0 is not None:
+        from repro.minlp.heuristics import warm_start_incumbent
+
+        warm = warm_start_incumbent(
+            work,
+            {**root.values, **x0},
+            nlp_multistart=nlp_multistart,
+            feas_tol=feas_tol,
+            rng=rng,
+        )
+        stats.nlp_solves += warm.stats.nlp_solves
+        if warm.status.is_ok:
+            warm_values = dict(warm.values)
+            warm_obj = problem.objective_value(warm_values)
+            if has_eta:
+                warm_values[_OBJ_VAR] = warm_obj
+            incumbent = (warm_values, warm_obj)
+            # Linearize at the incumbent too: the cuts make the first master
+            # tight around the warm-start's neighborhood.
+            for con in nonlin:
+                name, body, lb, ub = _cut_for(
+                    con, warm.values, f"oa{next(cut_counter)}"
+                )
+                master.add_constraint(name, body, lb, ub)
+                stats.cuts_added += 1
 
     def lazy(master_prob: Problem, values: dict[str, float]):
         cuts: list[tuple[str, Expr, float, float]] = []
@@ -228,7 +262,7 @@ def solve_minlp_oa(
             pass  # feasibility cuts above already exclude this assignment's point
         return cuts, candidate
 
-    engine = BranchAndBound(master, "lp", opts, lazy_cuts=lazy)
+    engine = BranchAndBound(master, "lp", opts, lazy_cuts=lazy, incumbent=incumbent)
     sol = engine.solve()
     stats.merge(sol.stats)
     stats.wall_time = timer.stop()

@@ -1,0 +1,55 @@
+"""Allocation-as-a-service: the HSLB optimizer as a query engine.
+
+The pipeline in :mod:`repro.core.hslb` answers one question per call.  This
+subsystem turns it into a service for heavy allocation traffic — many users
+asking "how do I split N nodes across these components?" for overlapping
+curves and budgets — by exploiting the fact that HSLB is *static*: a solve
+depends only on its canonical request, so answers cache perfectly and
+neighboring solves warm-start each other.
+
+Layers (each its own module, composable in isolation):
+
+* :mod:`~repro.service.request`   — canonicalization + fingerprinting;
+* :mod:`~repro.service.cache`     — LRU/TTL solution cache with accounting;
+* :mod:`~repro.service.solver`    — the pure fingerprint-seeded solve;
+* :mod:`~repro.service.service`   — cache + warm-start pool + metrics;
+* :mod:`~repro.service.batch`     — dedup, donor ordering, process fan-out,
+  deadlines, admission backpressure;
+* :mod:`~repro.service.server`    — the ``repro serve`` JSONL loop;
+* :mod:`~repro.service.metrics`   — counters/histograms and their snapshot;
+* :mod:`~repro.service.errors`    — typed failures (timeout, overload).
+"""
+
+from repro.service.batch import BatchExecutor
+from repro.service.cache import CacheStats, SolutionCache
+from repro.service.errors import (
+    ServiceError,
+    ServiceOverloadError,
+    ServiceRequestError,
+    ServiceTimeoutError,
+)
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.request import ComponentSpec, SolveRequest
+from repro.service.response import ServiceResponse
+from repro.service.server import serve_loop
+from repro.service.service import AllocationService
+from repro.service.solver import SolveOutcome, solve_request
+
+__all__ = [
+    "AllocationService",
+    "BatchExecutor",
+    "CacheStats",
+    "ComponentSpec",
+    "LatencyHistogram",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceOverloadError",
+    "ServiceRequestError",
+    "ServiceResponse",
+    "ServiceTimeoutError",
+    "SolutionCache",
+    "SolveOutcome",
+    "SolveRequest",
+    "serve_loop",
+    "solve_request",
+]

@@ -1,0 +1,182 @@
+"""Batched solves: dedup, donor-first ordering, fan-out, backpressure.
+
+A batch is answered in four moves:
+
+1. **admission** — a batch larger than ``max_pending`` is refused outright
+   with :class:`ServiceOverloadError`; the caller backs off and retries
+   (classic queue backpressure, not silent truncation);
+2. **dedup** — equal fingerprints collapse to one solve; duplicates are
+   answered from cache afterwards;
+3. **donor ordering** — misses are grouped into warm-start families
+   (identical but for node budget); each family with no cached member gets
+   its smallest-budget request solved first, in-process, so every other
+   member of the family fans out with an ``x0`` seed;
+4. **fan-out** — remaining misses run on a :class:`ProcessPoolExecutor`
+   (``max_workers > 0``) or serially in-process (``max_workers == 0``, the
+   deterministic mode tests use).  Each request carries a per-request
+   ``deadline`` that caps the solver's own wall budget, so a deadline ends
+   the tree search rather than orphaning a busy worker.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+
+from repro.minlp.solution import Status
+from repro.service.errors import ServiceOverloadError, ServiceTimeoutError
+from repro.service.request import SolveRequest
+from repro.service.response import ServiceResponse
+from repro.service.service import AllocationService
+from repro.service.solver import SolveOutcome, solve_request
+
+
+def _pool_solve(payload: dict, x0: dict | None, deadline: float | None) -> dict:
+    """Worker entry point: runs in a pool process, so wire formats only."""
+    request = SolveRequest.from_dict(payload)
+    return solve_request(request, x0=x0, deadline=deadline).to_dict()
+
+
+class BatchExecutor:
+    """Answer a batch of requests through one :class:`AllocationService`."""
+
+    def __init__(
+        self,
+        service: AllocationService,
+        *,
+        max_workers: int = 0,
+        deadline: float | None = None,
+        max_pending: int = 1024,
+    ) -> None:
+        if max_workers < 0:
+            raise ValueError("max_workers must be >= 0 (0 = in-process)")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.service = service
+        self.max_workers = max_workers
+        self.deadline = deadline
+        self.max_pending = max_pending
+
+    def run(self, requests: Sequence[SolveRequest]) -> list[ServiceResponse]:
+        """Answer every request, preserving input order.
+
+        Failed requests (deadline, infeasible model) come back as error
+        responses in their slot — one bad request never poisons the batch.
+        """
+        metrics = self.service.metrics
+        metrics.batch_requests += len(requests)
+        if len(requests) > self.max_pending:
+            metrics.overloads += 1
+            raise ServiceOverloadError(
+                pending=len(requests), capacity=self.max_pending
+            )
+
+        fingerprints = [r.fingerprint() for r in requests]
+        unique: dict[str, SolveRequest] = {}
+        for fp, req in zip(fingerprints, requests):
+            unique.setdefault(fp, req)
+        metrics.batch_deduped += len(requests) - len(unique)
+
+        misses = {
+            fp: req for fp, req in unique.items() if fp not in self.service.cache
+        }
+        answered: dict[str, ServiceResponse] = {}
+        if misses:
+            remaining = self._solve_donors(misses, answered)
+            if self.max_workers and len(remaining) > 1:
+                self._fan_out(remaining, answered)
+            else:
+                for fp, req in remaining.items():
+                    answered[fp] = self._submit_safe(fp, req)
+
+        # Resolution pass: the first occurrence of each solved miss keeps its
+        # solve response; duplicates and pre-cached requests go through the
+        # service so hits are accounted where they happen.
+        out: list[ServiceResponse] = []
+        for fp, req in zip(fingerprints, requests):
+            fresh = answered.pop(fp, None)
+            if fresh is not None:
+                out.append(fresh)
+                # Duplicates of a failed solve reuse the error envelope
+                # rather than re-solving a request that just died.
+                if not fresh.ok:
+                    answered[fp] = fresh
+            elif fp in self.service.cache:
+                out.append(self.service.submit(req))
+            else:  # failed earlier in this batch; envelope re-used above
+                out.append(self._submit_safe(fp, req))
+        return out
+
+    # -- internals ---------------------------------------------------------
+
+    def _solve_donors(
+        self,
+        misses: dict[str, SolveRequest],
+        answered: dict[str, ServiceResponse],
+    ) -> dict[str, SolveRequest]:
+        """Solve one donor per uncovered family; return the remaining misses."""
+        families: dict[str, list[str]] = {}
+        for fp, req in misses.items():
+            families.setdefault(req.family_key(), []).append(fp)
+        remaining = dict(misses)
+        for key, members in families.items():
+            if len(members) < 2 or self.service._families.get(key):
+                continue  # singleton, or the cache already holds a donor
+            donor_fp = min(members, key=lambda fp: misses[fp].total_nodes)
+            answered[donor_fp] = self._submit_safe(donor_fp, misses[donor_fp])
+            del remaining[donor_fp]
+        return remaining
+
+    def _submit_safe(self, fp: str, request: SolveRequest) -> ServiceResponse:
+        try:
+            return self.service.submit(request, deadline=self.deadline)
+        except ServiceTimeoutError as exc:
+            return ServiceResponse.error(
+                fingerprint=fp, status=Status.TIME_LIMIT.value, message=str(exc)
+            )
+
+    def _fan_out(
+        self,
+        remaining: dict[str, SolveRequest],
+        answered: dict[str, ServiceResponse],
+    ) -> None:
+        metrics = self.service.metrics
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = {}
+            for fp, req in remaining.items():
+                x0, donor = self.service._find_donor(req, fp)
+                fut = pool.submit(_pool_solve, req.to_dict(), x0, self.deadline)
+                futures[fp] = (fut, req, donor)
+            # The solver's own wall budget enforces the deadline; the grace
+            # below only covers process scheduling overhead.
+            grace = None if self.deadline is None else 2.0 * self.deadline + 5.0
+            for fp, (fut, req, donor) in futures.items():
+                try:
+                    outcome = SolveOutcome.from_dict(fut.result(timeout=grace))
+                except FutureTimeout:
+                    fut.cancel()
+                    metrics.timeouts += 1
+                    answered[fp] = ServiceResponse.error(
+                        fingerprint=fp,
+                        status=Status.TIME_LIMIT.value,
+                        message=f"worker missed its {self.deadline:.3g}s deadline",
+                    )
+                    continue
+                ok = outcome.status in (
+                    Status.OPTIMAL.value, Status.FEASIBLE.value
+                )
+                metrics.record_solve(
+                    outcome.wall_time,
+                    warm=outcome.warm_started,
+                    iterations=outcome.iterations,
+                    ok=ok,
+                )
+                if ok:
+                    self.service.admit(req, outcome)
+                elif outcome.status == Status.TIME_LIMIT.value:
+                    metrics.timeouts += 1
+                answered[fp] = ServiceResponse.from_outcome(
+                    outcome, cached=False, latency=outcome.wall_time, donor=donor
+                )

@@ -1,0 +1,116 @@
+"""LRU + TTL solution cache with hit/miss accounting.
+
+HSLB is *static*: a solve's answer depends only on the canonical request,
+never on machine state or time — which makes solutions perfectly cacheable.
+The cache is a plain ordered-dict LRU with an optional time-to-live (so a
+deployment that refits its curves hourly can bound staleness) and counters
+for every outcome, feeding the service metrics.
+
+The clock is injectable so tests can drive TTL expiry deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+V = TypeVar("V")
+
+
+@dataclass
+class CacheStats:
+    """Outcome counters since construction (monotonic, never reset)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    inserts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0 when none yet)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "inserts": self.inserts,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _Entry(Generic[V]):
+    value: V
+    inserted_at: float
+
+
+@dataclass
+class SolutionCache(Generic[V]):
+    """Bounded LRU mapping fingerprint -> cached solve, with optional TTL."""
+
+    capacity: int = 256
+    ttl: float | None = None  # seconds; None = entries never expire
+    clock: Callable[[], float] = time.monotonic
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        if self.ttl is not None and self.ttl <= 0:
+            raise ValueError("ttl must be positive (or None)")
+        self._entries: OrderedDict[str, _Entry[V]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        """Non-mutating presence check (no LRU touch, no accounting)."""
+        entry = self._entries.get(key)
+        return entry is not None and not self._expired(entry)
+
+    def get(self, key: str) -> V | None:
+        """Look up ``key``; counts a hit or miss and refreshes recency."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if self._expired(entry):
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.value
+
+    def put(self, key: str, value: V) -> None:
+        """Insert/overwrite ``key``, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = _Entry(value, self.clock())
+        self.stats.inserts += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def peek(self, key: str) -> V | None:
+        """Read without touching recency or counters (warm-start donors)."""
+        entry = self._entries.get(key)
+        if entry is None or self._expired(entry):
+            return None
+        return entry.value
+
+    def _expired(self, entry: _Entry[V]) -> bool:
+        return self.ttl is not None and self.clock() - entry.inserted_at > self.ttl

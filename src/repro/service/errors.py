@@ -1,0 +1,41 @@
+"""Typed service failures, following the :mod:`repro.faults` conventions.
+
+Every error carries the identity of the event (which request, which limit)
+as attributes, so callers — the batch executor, the JSONL serve loop, tests
+— can reason about failures instead of string-matching messages.
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(RuntimeError):
+    """Base class for every allocation-service failure."""
+
+
+class ServiceRequestError(ServiceError):
+    """A request that cannot be canonicalized or solved (caller's fault)."""
+
+
+class ServiceTimeoutError(ServiceError):
+    """A solve blew through its per-request deadline without an answer."""
+
+    def __init__(self, *, fingerprint: str, deadline: float, elapsed: float) -> None:
+        self.fingerprint = fingerprint
+        self.deadline = float(deadline)
+        self.elapsed = float(elapsed)
+        super().__init__(
+            f"request {fingerprint[:12]} missed its {self.deadline:.3g}s "
+            f"deadline ({self.elapsed:.3g}s elapsed, no incumbent)"
+        )
+
+
+class ServiceOverloadError(ServiceError):
+    """The admission queue is full; the caller must back off and retry."""
+
+    def __init__(self, *, pending: int, capacity: int) -> None:
+        self.pending = pending
+        self.capacity = capacity
+        super().__init__(
+            f"admission queue full: {pending} request(s) against a capacity "
+            f"of {capacity}; retry after the backlog drains"
+        )

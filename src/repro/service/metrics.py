@@ -1,0 +1,166 @@
+"""Service observability: counters, latency histograms, derived ratios.
+
+Prometheus-style fixed-bucket histograms (cumulative ``le`` counts) rather
+than reservoirs: snapshots are cheap, mergeable, and deterministic.  The
+headline derived numbers are the **cache hit rate** and the **warm-start
+speedup ratio** — mean solver iterations of cold solves over warm ones,
+the quantity the acceptance tests pin.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.util.tables import format_table
+
+#: Log-spaced latency bucket upper bounds, in seconds.
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+@dataclass
+class LatencyHistogram:
+    """Fixed-bucket histogram of seconds, with count/sum like Prometheus."""
+
+    buckets: tuple[float, ...] = LATENCY_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    total: int = 0
+    sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)  # +1: overflow
+
+    def observe(self, seconds: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, seconds)] += 1
+        self.total += 1
+        self.sum += seconds
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.total == 0:
+            return 0.0
+        target = q * self.total
+        seen = 0
+        for bound, count in zip(self.buckets, self.counts):
+            seen += count
+            if seen >= target:
+                return bound
+        return float("inf")  # landed in the overflow bucket
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.total,
+            "sum": self.sum,
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "buckets": {
+                str(b): c for b, c in zip(self.buckets, self.counts) if c
+            },
+        }
+
+
+@dataclass
+class ServiceMetrics:
+    """Everything the service counts, plus the derived headline ratios."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    cold_solves: int = 0
+    warm_solves: int = 0
+    solve_errors: int = 0
+    timeouts: int = 0
+    overloads: int = 0
+    batch_requests: int = 0
+    batch_deduped: int = 0
+    request_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    cold_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    warm_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    cold_iterations: int = 0
+    warm_iterations: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.cold_solves + self.warm_solves
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    @property
+    def warm_start_speedup(self) -> float:
+        """Mean cold iterations / mean warm iterations (1.0 until both seen)."""
+        if not (self.cold_solves and self.warm_solves):
+            return 1.0
+        cold = self.cold_iterations / self.cold_solves
+        warm = self.warm_iterations / self.warm_solves
+        return cold / warm if warm else float("inf")
+
+    def record_hit(self, latency: float) -> None:
+        self.requests += 1
+        self.cache_hits += 1
+        self.request_latency.observe(latency)
+
+    def record_solve(
+        self, latency: float, *, warm: bool, iterations: int, ok: bool
+    ) -> None:
+        self.requests += 1
+        self.request_latency.observe(latency)
+        if not ok:
+            self.solve_errors += 1
+            return
+        if warm:
+            self.warm_solves += 1
+            self.warm_iterations += iterations
+            self.warm_latency.observe(latency)
+        else:
+            self.cold_solves += 1
+            self.cold_iterations += iterations
+            self.cold_latency.observe(latency)
+
+    def snapshot(self) -> dict:
+        """One structured, JSON-ready view of every counter and histogram."""
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "cold_solves": self.cold_solves,
+            "warm_solves": self.warm_solves,
+            "solve_errors": self.solve_errors,
+            "timeouts": self.timeouts,
+            "overloads": self.overloads,
+            "batch_requests": self.batch_requests,
+            "batch_deduped": self.batch_deduped,
+            "warm_start_speedup": self.warm_start_speedup,
+            "latency": self.request_latency.snapshot(),
+            "cold_latency": self.cold_latency.snapshot(),
+            "warm_latency": self.warm_latency.snapshot(),
+        }
+
+    def render(self) -> str:
+        """Human-readable summary table (printed by the CLI)."""
+        snap = self.snapshot()
+        rows = [
+            ["requests", snap["requests"]],
+            ["cache hits", snap["cache_hits"]],
+            ["hit rate", f"{snap['hit_rate']:.1%}"],
+            ["cold solves", snap["cold_solves"]],
+            ["warm solves", snap["warm_solves"]],
+            ["errors / timeouts / overloads",
+             f"{snap['solve_errors']} / {snap['timeouts']} / {snap['overloads']}"],
+            ["warm-start speedup", f"{snap['warm_start_speedup']:.2f}x"],
+            ["mean latency", f"{self.request_latency.mean * 1e3:.2f} ms"],
+            ["p95 latency", f"{self.request_latency.quantile(0.95) * 1e3:.2f} ms"],
+        ]
+        return format_table(["metric", "value"], rows, title="allocation service")

@@ -1,0 +1,190 @@
+"""Solve requests: canonicalization and fingerprinting.
+
+A :class:`SolveRequest` is the service's unit of work: "split
+``total_nodes`` nodes across these components, whose fitted performance
+curves are ``T_j(n) = a/n + b n^c + d``".  Two requests that describe the
+same optimization problem must map to the same **fingerprint** so they share
+one cache slot, regardless of:
+
+* the order components were listed in,
+* dict key order inside each component's parameter block,
+* float noise below :data:`PARAM_SIG_DIGITS` significant digits (fitted
+  parameters re-derived from the same benchmark data differ in the last
+  couple of bits run-to-run).
+
+Anything that changes the *answer* — node budget, objective, algorithm,
+per-component node bounds, solver tolerances — is part of the fingerprint.
+The **family key** is the same hash with the node budget removed: requests
+in one family differ only in machine size, which is exactly the population
+the warm-start pool draws donors from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.core.objectives import Objective
+from repro.minlp.bnb import BnBOptions
+from repro.perf.model import PerformanceModel
+from repro.service.errors import ServiceRequestError
+
+#: Significant digits fitted parameters are rounded to before hashing.
+#: 12 digits is far below any physically meaningful difference in a fitted
+#: curve but far above float round-off noise.
+PARAM_SIG_DIGITS = 12
+
+_ALGORITHMS = ("auto", "oa", "nlpbb")
+
+
+def _sig(value: float) -> float:
+    """Round to :data:`PARAM_SIG_DIGITS` significant digits, stably."""
+    return float(f"{float(value):.{PARAM_SIG_DIGITS}g}")
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One component: fitted curve parameters plus optional node bounds."""
+
+    model: PerformanceModel
+    min_nodes: int = 1
+    max_nodes: int | None = None
+
+    def canonical(self) -> dict:
+        out = {
+            "a": _sig(self.model.a),
+            "b": _sig(self.model.b),
+            "c": _sig(self.model.c),
+            "d": _sig(self.model.d),
+            "min_nodes": int(self.min_nodes),
+        }
+        if self.max_nodes is not None:
+            out["max_nodes"] = int(self.max_nodes)
+        return out
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One allocation query, canonicalizable and hashable."""
+
+    components: Mapping[str, ComponentSpec]
+    total_nodes: int
+    objective: str = Objective.MIN_MAX.value
+    algorithm: str = "auto"
+    options: BnBOptions = field(default_factory=BnBOptions)
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ServiceRequestError("request has no components")
+        if self.total_nodes < len(self.components):
+            raise ServiceRequestError(
+                f"{self.total_nodes} nodes cannot give "
+                f"{len(self.components)} components one node each"
+            )
+        try:
+            Objective(self.objective)
+        except ValueError:
+            raise ServiceRequestError(
+                f"unknown objective {self.objective!r}"
+            ) from None
+        if self.algorithm not in _ALGORITHMS:
+            raise ServiceRequestError(
+                f"unknown algorithm {self.algorithm!r}; expected one of {_ALGORITHMS}"
+            )
+
+    # -- canonical form ----------------------------------------------------
+
+    def canonical(self) -> dict:
+        """The request as a canonical, JSON-stable payload."""
+        return {
+            "components": {
+                name: self.components[name].canonical()
+                for name in sorted(self.components)
+            },
+            "total_nodes": int(self.total_nodes),
+            "objective": self.objective,
+            "algorithm": self.algorithm,
+            "solver": {
+                "int_tol": _sig(self.options.int_tol),
+                "gap_abs": _sig(self.options.gap_abs),
+                "gap_rel": _sig(self.options.gap_rel),
+                "node_limit": int(self.options.node_limit),
+                "time_limit": _sig(self.options.time_limit),
+            },
+        }
+
+    def fingerprint(self) -> str:
+        """Stable identity of the solve: equal problems, equal digests."""
+        return _digest(self.canonical())
+
+    def family_key(self) -> str:
+        """Identity minus the node budget: the warm-start donor family."""
+        payload = self.canonical()
+        del payload["total_nodes"]
+        return _digest(payload)
+
+    # -- wire format -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the ``repro serve``/``batch`` schema)."""
+        return self.canonical()
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SolveRequest":
+        """Parse the wire format; raises :class:`ServiceRequestError`."""
+        try:
+            raw = payload["components"]
+        except (KeyError, TypeError):
+            raise ServiceRequestError(
+                "request must carry a 'components' mapping"
+            ) from None
+        if not isinstance(raw, Mapping):
+            raise ServiceRequestError("'components' must map name -> parameters")
+        components: dict[str, ComponentSpec] = {}
+        for name, params in raw.items():
+            try:
+                model = PerformanceModel(
+                    a=float(params["a"]),
+                    b=float(params.get("b", 0.0)),
+                    c=float(params.get("c", 1.0)),
+                    d=float(params.get("d", 0.0)),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ServiceRequestError(
+                    f"component {name!r}: bad curve parameters ({exc})"
+                ) from None
+            max_nodes = params.get("max_nodes")
+            components[str(name)] = ComponentSpec(
+                model=model,
+                min_nodes=int(params.get("min_nodes", 1)),
+                max_nodes=None if max_nodes is None else int(max_nodes),
+            )
+        solver = payload.get("solver", {})
+        defaults = BnBOptions()
+        options = BnBOptions(
+            int_tol=float(solver.get("int_tol", defaults.int_tol)),
+            gap_abs=float(solver.get("gap_abs", defaults.gap_abs)),
+            gap_rel=float(solver.get("gap_rel", defaults.gap_rel)),
+            node_limit=int(solver.get("node_limit", defaults.node_limit)),
+            time_limit=float(solver.get("time_limit", defaults.time_limit)),
+        )
+        try:
+            total_nodes = int(payload["total_nodes"])
+        except (KeyError, TypeError, ValueError):
+            raise ServiceRequestError(
+                "request must carry an integer 'total_nodes'"
+            ) from None
+        return cls(
+            components=components,
+            total_nodes=total_nodes,
+            objective=str(payload.get("objective", Objective.MIN_MAX.value)),
+            algorithm=str(payload.get("algorithm", "auto")),
+            options=options,
+        )
+
+
+def _digest(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(blob.encode(), digest_size=16).hexdigest()

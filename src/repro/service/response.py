@@ -1,0 +1,84 @@
+"""The service's answer envelope: allocation plus provenance.
+
+``cached``/``warm_started``/``donor`` tell the caller *how* the answer was
+produced — the service analogue of :class:`repro.core.hslb.SolverProvenance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.minlp.solution import Status
+from repro.service.solver import SolveOutcome
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One answered request, with full provenance."""
+
+    fingerprint: str
+    allocation: dict[str, int]
+    objective: float
+    status: str
+    cached: bool
+    warm_started: bool
+    donor: str | None  # fingerprint of the warm-start donor, if any
+    iterations: int
+    latency: float  # seconds spent answering, queue to response
+    message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (Status.OPTIMAL.value, Status.FEASIBLE.value)
+
+    @classmethod
+    def from_outcome(
+        cls,
+        outcome: SolveOutcome,
+        *,
+        cached: bool,
+        latency: float,
+        donor: str | None = None,
+    ) -> "ServiceResponse":
+        return cls(
+            fingerprint=outcome.fingerprint,
+            allocation=dict(outcome.allocation),
+            objective=outcome.objective,
+            status=outcome.status,
+            cached=cached,
+            warm_started=outcome.warm_started,
+            donor=donor,
+            iterations=outcome.iterations,
+            latency=latency,
+            message=outcome.message,
+        )
+
+    @classmethod
+    def error(cls, *, fingerprint: str, status: str, message: str) -> "ServiceResponse":
+        """A failed request (timeout, overload) as a response envelope."""
+        return cls(
+            fingerprint=fingerprint,
+            allocation={},
+            objective=float("nan"),
+            status=status,
+            cached=False,
+            warm_started=False,
+            donor=None,
+            iterations=0,
+            latency=0.0,
+            message=message,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "allocation": dict(self.allocation),
+            "objective": self.objective,
+            "status": self.status,
+            "cached": self.cached,
+            "warm_started": self.warm_started,
+            "donor": self.donor,
+            "iterations": self.iterations,
+            "latency": self.latency,
+            "message": self.message,
+        }

@@ -1,0 +1,131 @@
+"""The allocation service: cached, warm-started solves behind one entry point.
+
+Request lifecycle::
+
+    submit(request)
+      -> canonicalize + fingerprint            (request.py)
+      -> cache lookup                          (cache.py; hit: done, ~µs)
+      -> warm-start donor: nearest cached node
+         budget in the same request family     (this module)
+      -> solve, x0 threaded through the
+         oa/nlpbb chain                        (solver.py -> repro.minlp)
+      -> cache insert + donor-pool registration
+      -> metrics
+
+Cached answers are bit-identical to fresh solves: the solve RNG is seeded
+from the fingerprint, so replaying the request in any process yields the
+same allocation and objective the cache stored.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from collections.abc import Callable
+
+from repro.minlp.solution import Status
+from repro.service.cache import SolutionCache
+from repro.service.errors import ServiceTimeoutError
+from repro.service.metrics import ServiceMetrics
+from repro.service.request import SolveRequest
+from repro.service.response import ServiceResponse
+from repro.service.solver import SolveOutcome, solve_request
+
+
+class AllocationService:
+    """High-throughput query engine over the HSLB optimizer."""
+
+    def __init__(
+        self,
+        *,
+        cache_capacity: int = 256,
+        ttl: float | None = None,
+        warm_start: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.cache: SolutionCache[SolveOutcome] = SolutionCache(
+            capacity=cache_capacity, ttl=ttl, clock=clock
+        )
+        self.metrics = ServiceMetrics()
+        self.warm_start = warm_start
+        # family key -> {fingerprint: total_nodes}; entries go stale when the
+        # cache evicts/expires them and are pruned lazily on donor lookups.
+        self._families: dict[str, dict[str, int]] = defaultdict(dict)
+
+    # -- the request path --------------------------------------------------
+
+    def submit(
+        self, request: SolveRequest, *, deadline: float | None = None
+    ) -> ServiceResponse:
+        """Answer one request from cache or by a (warm-started) solve.
+
+        Raises :class:`ServiceTimeoutError` when the per-request ``deadline``
+        expires with no usable incumbent; solver failures that are the
+        *model's* fault (infeasible, error) come back as a response with
+        ``ok=False`` instead — the caller's retry policy differs.
+        """
+        start = time.perf_counter()
+        fingerprint = request.fingerprint()
+        cached = self.cache.get(fingerprint)
+        if cached is not None:
+            latency = time.perf_counter() - start
+            self.metrics.record_hit(latency)
+            return ServiceResponse.from_outcome(
+                cached, cached=True, latency=latency
+            )
+        x0, donor = self._find_donor(request, fingerprint)
+        outcome = solve_request(request, x0=x0, deadline=deadline)
+        latency = time.perf_counter() - start
+        ok = outcome.status in (Status.OPTIMAL.value, Status.FEASIBLE.value)
+        self.metrics.record_solve(
+            latency, warm=outcome.warm_started, iterations=outcome.iterations, ok=ok
+        )
+        if ok:
+            self.admit(request, outcome)
+        elif outcome.status == Status.TIME_LIMIT.value:
+            self.metrics.timeouts += 1
+            raise ServiceTimeoutError(
+                fingerprint=fingerprint,
+                deadline=deadline if deadline is not None else request.options.time_limit,
+                elapsed=latency,
+            )
+        return ServiceResponse.from_outcome(
+            outcome, cached=False, latency=latency, donor=donor
+        )
+
+    def submit_dict(self, payload: dict, *, deadline: float | None = None) -> dict:
+        """Wire-format entry point: dict in, dict out (the JSONL schema)."""
+        return self.submit(
+            SolveRequest.from_dict(payload), deadline=deadline
+        ).to_dict()
+
+    # -- cache/donor bookkeeping -------------------------------------------
+
+    def admit(self, request: SolveRequest, outcome: SolveOutcome) -> None:
+        """Install a finished solve into the cache and the donor pool."""
+        fingerprint = outcome.fingerprint
+        self.cache.put(fingerprint, outcome)
+        self._families[request.family_key()][fingerprint] = request.total_nodes
+
+    def _find_donor(
+        self, request: SolveRequest, fingerprint: str
+    ) -> tuple[dict[str, float] | None, str | None]:
+        """Nearest cached node budget in the request's family, as an x0."""
+        if not self.warm_start:
+            return None, None
+        family = self._families.get(request.family_key())
+        if not family:
+            return None, None
+        best: tuple[int, str] | None = None
+        for fp, nodes in list(family.items()):
+            if fp == fingerprint or self.cache.peek(fp) is None:
+                if self.cache.peek(fp) is None:
+                    del family[fp]  # evicted/expired underneath us
+                continue
+            gap = abs(nodes - request.total_nodes)
+            if best is None or gap < best[0]:
+                best = (gap, fp)
+        if best is None:
+            return None, None
+        donor = self.cache.peek(best[1])
+        return dict(donor.values), best[1]

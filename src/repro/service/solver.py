@@ -1,0 +1,142 @@
+"""The pure solve at the bottom of the service: request in, outcome out.
+
+Kept free of any cache/metrics state so the same function runs in-process
+(the service's own misses) and inside :class:`~concurrent.futures.\
+ProcessPoolExecutor` workers (the batch executor's fan-out).  Determinism
+rule: the solve RNG is seeded from the request fingerprint, so the same
+canonical request produces a bit-identical answer in any process — the
+property that lets cached responses stand in for fresh solves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.builder import AllocationModelBuilder
+from repro.core.objectives import Objective
+from repro.minlp import solve
+from repro.minlp.solution import Solution, Status
+from repro.service.request import SolveRequest
+from repro.util.rng import default_rng
+
+
+@dataclass(frozen=True)
+class SolveOutcome:
+    """Everything the service stores (and ships across process boundaries)."""
+
+    fingerprint: str
+    allocation: dict[str, int]
+    objective: float
+    status: str
+    iterations: int  # B&B nodes + NLP solves: the warm-start speedup metric
+    wall_time: float
+    values: dict[str, float]  # full variable values: the warm-start donor
+    warm_started: bool
+    message: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "allocation": dict(self.allocation),
+            "objective": self.objective,
+            "status": self.status,
+            "iterations": self.iterations,
+            "wall_time": self.wall_time,
+            "values": dict(self.values),
+            "warm_started": self.warm_started,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SolveOutcome":
+        return cls(
+            fingerprint=str(payload["fingerprint"]),
+            allocation={k: int(v) for k, v in payload["allocation"].items()},
+            objective=float(payload["objective"]),
+            status=str(payload["status"]),
+            iterations=int(payload["iterations"]),
+            wall_time=float(payload["wall_time"]),
+            values={k: float(v) for k, v in payload["values"].items()},
+            warm_started=bool(payload["warm_started"]),
+            message=str(payload.get("message", "")),
+        )
+
+
+def build_problem(request: SolveRequest):
+    """The request's MINLP, via the shared allocation-model builder."""
+    objective = Objective(request.objective)
+    b = AllocationModelBuilder(
+        f"service-{request.fingerprint()[:8]}", request.total_nodes
+    )
+    for name, spec in request.components.items():
+        b.add_component(
+            name, spec.model, min_nodes=spec.min_nodes, max_nodes=spec.max_nodes
+        )
+    # Same budget convention as the FMO scheduler: MAX_MIN needs the exact
+    # budget or "raising the floor" degenerates into starving everything.
+    b.limit_total_nodes(exact=objective is Objective.MAX_MIN)
+    b.set_objective(objective)
+    return b.build()
+
+
+def solve_request(
+    request: SolveRequest,
+    *,
+    x0: dict[str, float] | None = None,
+    deadline: float | None = None,
+) -> SolveOutcome:
+    """Solve one request, optionally warm-started and deadline-capped.
+
+    ``deadline`` shrinks the solver's wall budget (never loosens it), so a
+    per-request deadline terminates the tree search itself rather than
+    abandoning a runaway subprocess.
+    """
+    fingerprint = request.fingerprint()
+    problem = build_problem(request)
+    if x0 is not None:
+        # Seed only the discrete decision variables: a donor's continuous
+        # auxiliaries (epigraph T, eta) belong to *its* budget and would
+        # drag the root relaxation toward the donor's optimum.
+        discrete = {v.name for v in problem.discrete_variables()}
+        x0 = {k: v for k, v in x0.items() if k in discrete} or None
+    options = request.options
+    if deadline is not None:
+        options = options.with_budget(wall_seconds=deadline)
+    # MAX_MIN epigraph rows (t <= convex) are nonconvex; OA cuts would be
+    # invalid there, so route it to NLP-based branch-and-bound.
+    algorithm = request.algorithm
+    if algorithm == "auto" and Objective(request.objective) is Objective.MAX_MIN:
+        algorithm = "nlpbb"
+    rng = default_rng(int(fingerprint[:8], 16))
+    sol = solve(problem, options, algorithm=algorithm, rng=rng, x0=x0)
+    return _outcome(request, fingerprint, sol, warm_started=x0 is not None)
+
+
+def _outcome(
+    request: SolveRequest,
+    fingerprint: str,
+    sol: Solution,
+    *,
+    warm_started: bool,
+) -> SolveOutcome:
+    allocation: dict[str, int] = {}
+    if sol.status.is_ok:
+        allocation = {
+            name: int(round(sol.values[f"n_{name}"])) for name in request.components
+        }
+    return SolveOutcome(
+        fingerprint=fingerprint,
+        allocation=allocation,
+        objective=float(sol.objective),
+        status=sol.status.value,
+        iterations=sol.stats.nodes_explored + sol.stats.nlp_solves,
+        wall_time=float(sol.stats.wall_time),
+        values={k: float(v) for k, v in sol.values.items()},
+        warm_started=warm_started,
+        message=sol.message,
+    )
+
+
+def outcome_is_timeout(outcome: SolveOutcome) -> bool:
+    """True when the solver died on its wall budget with no usable point."""
+    return outcome.status == Status.TIME_LIMIT.value

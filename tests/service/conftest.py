@@ -1,0 +1,32 @@
+"""Shared request-building helpers for the service tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.model import PerformanceModel
+from repro.service import ComponentSpec, SolveRequest
+
+#: A CESM-flavored three-component curve set, reused across the suite.
+CURVES = {
+    "atm": dict(a=1200.0, b=0.5, c=1.1, d=2.0),
+    "ocn": dict(a=800.0, b=0.3, c=1.2, d=1.0),
+    "ice": dict(a=300.0, b=0.2, c=1.0, d=0.5),
+}
+
+
+def make_request(
+    total_nodes: int = 64,
+    curves: dict | None = None,
+    **kwargs,
+) -> SolveRequest:
+    components = {
+        name: ComponentSpec(model=PerformanceModel(**params))
+        for name, params in (curves or CURVES).items()
+    }
+    return SolveRequest(components=components, total_nodes=total_nodes, **kwargs)
+
+
+@pytest.fixture
+def request64() -> SolveRequest:
+    return make_request(64)

@@ -1,0 +1,91 @@
+"""LRU/TTL behavior of the solution cache, on a fake clock."""
+
+from __future__ import annotations
+
+from repro.service import SolutionCache
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def test_basic_hit_miss_accounting():
+    cache = SolutionCache(capacity=4)
+    assert cache.get("a") is None
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    stats = cache.stats
+    assert (stats.hits, stats.misses, stats.inserts) == (1, 1, 1)
+    assert stats.hit_rate == 0.5
+
+
+def test_lru_evicts_least_recently_used():
+    cache = SolutionCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # touch "a" so "b" is now the LRU entry
+    cache.put("c", 3)
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert cache.stats.evictions == 1
+
+
+def test_reinsert_updates_value_without_eviction():
+    cache = SolutionCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("a", 10)
+    cache.put("b", 2)
+    assert cache.get("a") == 10
+    assert cache.stats.evictions == 0
+
+
+def test_ttl_expires_entries():
+    clock = FakeClock()
+    cache = SolutionCache(capacity=4, ttl=10.0, clock=clock)
+    cache.put("a", 1)
+    clock.advance(9.0)
+    assert cache.get("a") == 1
+    clock.advance(2.0)  # 11s after insert: past the 10s TTL
+    assert cache.get("a") is None
+    assert cache.stats.expirations == 1
+    # Expired entries do not linger.
+    assert "a" not in cache
+
+
+def test_ttl_is_from_insert_not_last_access():
+    clock = FakeClock()
+    cache = SolutionCache(capacity=4, ttl=10.0, clock=clock)
+    cache.put("a", 1)
+    for _ in range(3):
+        clock.advance(3.0)
+        cache.get("a")
+    clock.advance(3.0)  # 12s after insert even though accessed 3s ago
+    assert cache.get("a") is None
+
+
+def test_peek_does_not_touch_lru_or_stats():
+    cache = SolutionCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.peek("a") == 1
+    hits_before = cache.stats.hits
+    cache.put("c", 3)  # "a" was peeked, not touched: still the LRU victim
+    assert cache.peek("a") is None
+    assert cache.stats.hits == hits_before
+
+
+def test_contains_is_non_mutating():
+    cache = SolutionCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert "a" in cache
+    cache.put("c", 3)  # __contains__ must not have promoted "a"
+    assert "a" not in cache

@@ -1,0 +1,155 @@
+"""Fingerprint stability: same problem, same digest — and only then.
+
+Property tests drive the canonicalization through reorderings and
+last-bit float noise (below :data:`PARAM_SIG_DIGITS`), which must not move
+the fingerprint, and through semantic changes (budget, objective, bounds,
+tolerances), which must.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minlp.bnb import BnBOptions
+from repro.perf.model import PerformanceModel
+from repro.service import ComponentSpec, ServiceRequestError, SolveRequest
+from repro.service.request import PARAM_SIG_DIGITS, _sig
+
+from tests.service.conftest import make_request
+
+# Fitted curve parameters live in these ranges; keep them away from zero so
+# relative perturbations stay meaningful.
+_params = st.fixed_dictionaries(
+    {
+        "a": st.floats(1.0, 1e6),
+        "b": st.floats(0.0, 10.0),
+        "c": st.floats(0.5, 2.0),
+        "d": st.floats(0.0, 100.0),
+    }
+)
+_names = st.lists(
+    st.text(st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=8),
+    min_size=2,
+    max_size=5,
+    unique=True,
+)
+
+
+def _request_from(names, params_list, total_nodes):
+    components = {
+        name: ComponentSpec(model=PerformanceModel(**params))
+        for name, params in zip(names, params_list)
+    }
+    return SolveRequest(components=components, total_nodes=total_nodes)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    names=_names,
+    data=st.data(),
+    total=st.integers(8, 4096),
+    seed=st.randoms(use_true_random=False),
+)
+def test_fingerprint_invariant_to_component_order(names, data, total, seed):
+    params_list = [data.draw(_params) for _ in names]
+    base = _request_from(names, params_list, total)
+    shuffled = list(zip(names, params_list))
+    seed.shuffle(shuffled)
+    permuted = _request_from(
+        [n for n, _ in shuffled], [p for _, p in shuffled], total
+    )
+    assert base.fingerprint() == permuted.fingerprint()
+    assert base.family_key() == permuted.family_key()
+
+
+@settings(max_examples=50, deadline=None)
+@given(names=_names, data=st.data(), total=st.integers(8, 4096))
+def test_fingerprint_invariant_to_subdigit_noise(names, data, total):
+    params_list = [data.draw(_params) for _ in names]
+    # Perturb every parameter well below the significant-digit cutoff: the
+    # rounded canonical value must not move.
+    noisy = [
+        {k: v * (1.0 + 1e-15) for k, v in params.items()}
+        for params in params_list
+    ]
+    base = _request_from(names, params_list, total)
+    jittered = _request_from(names, noisy, total)
+    assert base.fingerprint() == jittered.fingerprint()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    names=_names,
+    data=st.data(),
+    total_a=st.integers(8, 4096),
+    total_b=st.integers(8, 4096),
+)
+def test_distinct_budgets_never_collide(names, data, total_a, total_b):
+    params_list = [data.draw(_params) for _ in names]
+    ra = _request_from(names, params_list, total_a)
+    rb = _request_from(names, params_list, total_b)
+    if total_a == total_b:
+        assert ra.fingerprint() == rb.fingerprint()
+    else:
+        assert ra.fingerprint() != rb.fingerprint()
+    # Same curves, any budget: one warm-start family.
+    assert ra.family_key() == rb.family_key()
+
+
+def test_distinct_objectives_never_collide():
+    prints = {
+        make_request(64, objective=obj).fingerprint()
+        for obj in ("min-max", "max-min", "min-sum")
+    }
+    assert len(prints) == 3
+
+
+def test_solver_options_are_identity():
+    base = make_request(64)
+    tighter = make_request(64, options=BnBOptions(gap_rel=1e-9))
+    assert base.fingerprint() != tighter.fingerprint()
+
+
+def test_wire_roundtrip_preserves_fingerprint(request64):
+    clone = SolveRequest.from_dict(request64.to_dict())
+    assert clone.fingerprint() == request64.fingerprint()
+    assert clone.family_key() == request64.family_key()
+
+
+def test_sig_rounding_is_stable():
+    assert _sig(1.0 + 1e-15) == 1.0
+    assert _sig(123.456789) == float(f"{123.456789:.{PARAM_SIG_DIGITS}g}")
+    assert not math.isnan(_sig(0.0))
+
+
+@pytest.mark.parametrize(
+    "payload, fragment",
+    [
+        ({}, "components"),
+        ({"components": {"a": {"a": 1.0}}}, "total_nodes"),
+        ({"components": {"a": {}}, "total_nodes": 4}, "curve parameters"),
+        ({"components": 3, "total_nodes": 4}, "components"),
+    ],
+)
+def test_bad_wire_payloads_are_typed_errors(payload, fragment):
+    with pytest.raises(ServiceRequestError, match=fragment):
+        SolveRequest.from_dict(payload)
+
+
+def test_validation_rejects_starved_budget():
+    with pytest.raises(ServiceRequestError, match="one node each"):
+        make_request(total_nodes=2)
+
+
+def test_validation_rejects_unknown_objective():
+    with pytest.raises(ServiceRequestError, match="objective"):
+        make_request(64, objective="min-median")
+
+
+def test_validation_rejects_unknown_algorithm():
+    with pytest.raises(ServiceRequestError, match="algorithm"):
+        make_request(64, algorithm="simplex")

@@ -1,0 +1,65 @@
+"""The JSONL serve loop: requests, control lines, and malformed input."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.service import AllocationService, serve_loop
+
+from tests.service.conftest import make_request
+
+
+def _run(lines: list[str], **kwargs) -> tuple[int, list[dict]]:
+    service = kwargs.pop("service", None) or AllocationService()
+    out = io.StringIO()
+    served = serve_loop(
+        service, io.StringIO("\n".join(lines) + "\n"), out, **kwargs
+    )
+    return served, [json.loads(line) for line in out.getvalue().splitlines()]
+
+
+def test_serves_requests_and_caches(request64):
+    line = json.dumps(request64.to_dict())
+    served, replies = _run([line, line])
+    assert served == 2
+    assert replies[0]["cached"] is False and replies[1]["cached"] is True
+    assert replies[0]["allocation"] == replies[1]["allocation"]
+
+
+def test_metrics_command():
+    served, replies = _run(
+        [json.dumps(make_request(64).to_dict()), '{"cmd": "metrics"}']
+    )
+    assert served == 1  # control lines are not requests
+    assert replies[1]["metrics"]["requests"] == 1
+
+
+def test_quit_stops_the_loop(request64):
+    line = json.dumps(request64.to_dict())
+    served, replies = _run([line, '{"cmd": "quit"}', line])
+    assert served == 1
+    assert len(replies) == 1
+
+
+def test_malformed_lines_do_not_kill_the_loop(request64):
+    served, replies = _run(
+        [
+            "not json at all",
+            "[1, 2, 3]",
+            '{"cmd": "selfdestruct"}',
+            '{"components": {}, "total_nodes": 4}',
+            json.dumps(request64.to_dict()),
+        ]
+    )
+    assert served == 2  # the bad request and the good one
+    assert "bad JSON" in replies[0]["error"]
+    assert "JSON object" in replies[1]["error"]
+    assert "unknown command" in replies[2]["error"]
+    assert "components" in replies[3]["error"]
+    assert replies[4]["status"] == "optimal"
+
+
+def test_blank_lines_are_skipped(request64):
+    served, replies = _run(["", "   ", json.dumps(request64.to_dict())])
+    assert served == 1 and len(replies) == 1

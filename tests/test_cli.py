@@ -210,3 +210,133 @@ def test_fmo_crash_fraction_out_of_range_is_a_clean_error(capsys):
     )
     assert code == 2
     assert "crash_fraction" in capsys.readouterr().err
+
+
+def test_optimize_json_report(capsys):
+    code = main(
+        [
+            "--seed", "3",
+            "optimize", "--resolution", "1deg", "--nodes", "64",
+            "--benchmarks", "16", "32", "64", "256",
+            "--json",
+        ]
+    )
+    assert code == 0
+    import json
+
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["config"] == "1deg" and doc["nodes"] == 64
+    assert sum(doc["allocation"].values()) > 0
+    assert doc["solver"]["status"] == "optimal"
+    assert doc["predicted_total"] > 0
+
+
+def test_optimize_json_matches_table_run(capsys):
+    args = [
+        "--seed", "3",
+        "optimize", "--resolution", "1deg", "--nodes", "64",
+        "--benchmarks", "16", "32", "64", "256",
+    ]
+    assert main(args) == 0
+    table = capsys.readouterr().out
+    assert main(args + ["--json"]) == 0
+    import json
+
+    doc = json.loads(capsys.readouterr().out)
+    # Same pipeline underneath: every allocated node count in the JSON
+    # report appears in the rendered table.
+    for count in doc["allocation"].values():
+        assert str(count) in table
+
+
+def test_fmo_json_report(capsys):
+    code = main(
+        ["--seed", "1", "fmo", "--fragments", "6", "--nodes", "64", "--json"]
+    )
+    assert code == 0
+    import json
+
+    doc = json.loads(capsys.readouterr().out)
+    labels = [row["label"] for row in doc["schedulers"]]
+    assert "hslb-min-max" in labels
+    assert doc["hslb"]["predicted"] > 0
+    assert len(doc["hslb"]["group_sizes"]) >= 1
+
+
+def test_fmo_json_with_faults_keeps_stdout_pure(capsys):
+    code = main(
+        ["--seed", "1", "fmo", "--fragments", "6", "--nodes", "64",
+         "--fail-rate", "0.2", "--json"]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    import json
+
+    doc = json.loads(captured.out)  # stdout must be exactly one JSON doc
+    assert "fault_plan" in doc
+    assert "fault plan:" in captured.err
+
+
+def _service_request_payload(total_nodes=64):
+    return {
+        "components": {
+            "atm": {"a": 1200.0, "b": 0.5, "c": 1.1, "d": 2.0},
+            "ocn": {"a": 800.0, "b": 0.3, "c": 1.2, "d": 1.0},
+        },
+        "total_nodes": total_nodes,
+    }
+
+
+def test_batch_command(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "requests.json"
+    path.write_text(
+        json.dumps(
+            [
+                _service_request_payload(64),
+                _service_request_payload(64),
+                _service_request_payload(96),
+            ]
+        )
+    )
+    assert main(["batch", str(path), "--metrics"]) == 0
+    captured = capsys.readouterr()
+    lines = [json.loads(line) for line in captured.out.splitlines()]
+    responses, metrics = lines[:-1], lines[-1]["metrics"]
+    assert len(responses) == 3
+    assert responses[0]["allocation"] == responses[1]["allocation"]
+    assert responses[1]["cached"] is True
+    assert metrics["cache_hits"] == 1
+    assert metrics["batch_deduped"] == 1
+    assert "allocation service" in captured.err
+
+
+def test_batch_missing_file_is_a_clean_error(capsys):
+    assert main(["batch", "/nonexistent/requests.json"]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_batch_bad_request_is_a_clean_error(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "requests.json"
+    path.write_text(json.dumps([{"total_nodes": 8}]))
+    assert main(["batch", str(path)]) == 2
+    assert "components" in capsys.readouterr().err
+
+
+def test_serve_command(monkeypatch, capsys):
+    import io
+    import json
+    import sys as _sys
+
+    payload = json.dumps(_service_request_payload(64))
+    monkeypatch.setattr(
+        _sys, "stdin", io.StringIO(payload + "\n" + payload + "\n")
+    )
+    assert main(["serve"]) == 0
+    captured = capsys.readouterr()
+    replies = [json.loads(line) for line in captured.out.splitlines()]
+    assert replies[0]["cached"] is False and replies[1]["cached"] is True
+    assert "served 2 request(s)" in captured.err
