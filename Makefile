@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench faults-bench service-bench examples reports clean
+.PHONY: install test bench faults-bench service-bench obs-bench examples reports clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -25,6 +25,11 @@ faults-bench:
 # benchmarks/out/service_throughput.txt and service_warm_start.txt.
 service-bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_service.py --benchmark-only
+
+# Tracing overhead (off / on / on + export); writes
+# benchmarks/out/obs_overhead.txt.
+obs-bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_obs.py --benchmark-only
 
 # Regenerate every paper table/figure and print the saved reports.
 reports: bench

@@ -1,0 +1,84 @@
+"""Observability overhead benchmark: tracing off vs on vs on-with-export.
+
+The contract (DESIGN.md, "Observability") is that the disabled tracer is
+near-free and the enabled tracer stays a small fraction of a real solve.
+This benchmark times the flagship CESM 1deg-128 pipeline in three modes and
+persists the comparison under ``benchmarks/out/obs_overhead.txt``.
+"""
+
+from time import perf_counter
+
+from repro.cesm.app import CESMApplication
+from repro.cesm.grids import one_degree
+from repro.core.hslb import HSLBOptimizer
+from repro.experiments.paper_data import BENCHMARK_CAMPAIGN
+from repro.obs.export import trace_to_jsonl
+from repro.obs.trace import get_tracer
+from repro.util.rng import default_rng
+
+ROUNDS = 3
+
+
+def _run_pipeline():
+    app = CESMApplication(one_degree())
+    return HSLBOptimizer(app).run(BENCHMARK_CAMPAIGN["1deg"], 128, default_rng(0))
+
+
+def _best_of(rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = perf_counter()
+        _run_pipeline()
+        best = min(best, perf_counter() - start)
+    return best
+
+
+def _render(rows: list[tuple[str, float, float]]) -> str:
+    lines = [
+        "Observability overhead: CESM 1deg-128 pipeline (best of "
+        f"{ROUNDS} rounds)",
+        "",
+        f"{'mode':<24} {'wall (ms)':>10} {'vs off':>8}",
+    ]
+    for mode, wall, ratio in rows:
+        lines.append(f"{mode:<24} {wall * 1e3:>10.1f} {ratio:>7.2f}x")
+    return "\n".join(lines)
+
+
+def test_tracing_overhead(benchmark, save_report, tmp_path):
+    tracer = get_tracer()
+    assert not tracer.enabled
+
+    _run_pipeline()  # warm-up: imports, model caches
+
+    off = benchmark.pedantic(lambda: _best_of(ROUNDS), rounds=1, iterations=1)
+
+    tracer.reset()
+    tracer.enable()
+    try:
+        on = _best_of(ROUNDS)
+        spans = sum(1 for _ in tracer.walk())
+        events = sum(len(s.events) for s, _ in tracer.walk())
+        start = perf_counter()
+        jsonl = trace_to_jsonl(tracer)
+        export = perf_counter() - start
+        (tmp_path / "trace.jsonl").write_text(jsonl)
+    finally:
+        tracer.disable()
+        tracer.reset()
+
+    rows = [
+        ("tracing off", off, 1.0),
+        ("tracing on", on, on / off),
+        ("tracing on + export", on + export, (on + export) / off),
+    ]
+    report = _render(rows) + (
+        f"\n\nlast traced run: {spans} spans, {events} events, "
+        f"{len(jsonl.splitlines())} JSONL lines"
+    )
+    save_report("obs_overhead", report)
+
+    # Generous CI-safe bound: enabled tracing (tens of spans over a
+    # multi-hundred-ms solve) must not come close to doubling the run.
+    assert on < 1.5 * off, f"tracing on took {on / off:.2f}x the untraced run"
+    assert spans > 10 and events > 0

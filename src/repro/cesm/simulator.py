@@ -23,6 +23,7 @@ from repro.cesm.grids import CESMConfiguration
 from repro.cesm.layouts import MINOR_HOSTS, Layout, footprint, layout_total_time
 from repro.core.spec import Allocation, ExecutionResult
 from repro.faults.plan import FaultPlan, NodeCrashError
+from repro.obs.trace import span
 from repro.perf.data import BenchmarkSuite, ComponentBenchmark, ScalingObservation
 from repro.util.rng import spawn_rng
 
@@ -194,31 +195,33 @@ class CESMSimulator:
         minors = self._minor_components()
         order = COMPONENTS + minors
         streams = dict(zip(order, spawn_rng(rng, len(order))))
-        times = {
-            comp: self.component_time(comp, allocation[comp], streams[comp])
-            for comp in COMPONENTS
-        }
-        minor_times = {
-            comp: self.component_time(
-                comp, allocation[MINOR_HOSTS[comp]], streams[comp]
-            )
-            for comp in minors
-        }
-        metadata = {
-            "layout": self.layout.name,
-            "footprint_nodes": footprint(
-                self.layout, allocation, self.config.machine_nodes
-            ),
-            "configuration": self.config.name,
-        }
-        if self.include_minor:
-            times.update(minor_times)
-        else:
-            # Excluded from the balanced model, visible in the run log only
-            # (§II; also why "the HSLB reported time for the whole run may
-            # differ slightly from the one found in the CESM output files").
-            metadata.update({f"{k}_time": v for k, v in minor_times.items()})
-        total = layout_total_time(self.layout, times)
+        with span("cesm.execute", layout=self.layout.name) as sp:
+            times = {
+                comp: self.component_time(comp, allocation[comp], streams[comp])
+                for comp in COMPONENTS
+            }
+            minor_times = {
+                comp: self.component_time(
+                    comp, allocation[MINOR_HOSTS[comp]], streams[comp]
+                )
+                for comp in minors
+            }
+            metadata = {
+                "layout": self.layout.name,
+                "footprint_nodes": footprint(
+                    self.layout, allocation, self.config.machine_nodes
+                ),
+                "configuration": self.config.name,
+            }
+            if self.include_minor:
+                times.update(minor_times)
+            else:
+                # Excluded from the balanced model, visible in the run log only
+                # (§II; also why "the HSLB reported time for the whole run may
+                # differ slightly from the one found in the CESM output files").
+                metadata.update({f"{k}_time": v for k, v in minor_times.items()})
+            total = layout_total_time(self.layout, times)
+            sp.set_tag("total_seconds", round(total, 6))
         return ExecutionResult(
             component_times=times, total_time=total, metadata=metadata
         )
@@ -320,6 +323,27 @@ class CESMSimulator:
             raise ValueError("runs_per_count must be >= 1")
         suite = BenchmarkSuite()
         node_counts = list(node_counts)
+        with span(
+            "cesm.benchmark", counts=len(node_counts), runs=runs_per_count
+        ):
+            self._benchmark_into(
+                suite, node_counts, rng,
+                runs_per_count=runs_per_count,
+                probe_extremes=probe_extremes,
+                attempt=attempt,
+            )
+        return suite
+
+    def _benchmark_into(
+        self,
+        suite: BenchmarkSuite,
+        node_counts: list[int],
+        rng: np.random.Generator,
+        *,
+        runs_per_count: int,
+        probe_extremes: bool,
+        attempt: int,
+    ) -> None:
         biggest = max(node_counts) if node_counts else 0
         for total in node_counts:
             if self.faults is not None:
@@ -352,4 +376,3 @@ class CESMSimulator:
                                 ],
                             )
                         )
-        return suite

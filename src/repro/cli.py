@@ -10,18 +10,55 @@ Subcommands:
 * ``hslb batch``      — answer a JSON file of allocation requests in one
   deduplicated, donor-ordered batch;
 * ``hslb experiment`` — run any registered paper experiment by id;
-* ``hslb list``       — list available experiments.
+* ``hslb list``       — list available experiments;
+* ``hslb trace``      — run any subcommand under the span tracer and print
+  an ASCII flamegraph of where the time went;
+* ``hslb metrics``    — print the metrics registry in Prometheus text
+  format (optionally running a subcommand first to populate it).
 
 ``optimize`` and ``fmo`` take ``--json`` for machine-readable output; exit
-codes are identical either way.
+codes are identical either way.  Progress chatter goes to stderr through
+:mod:`repro.obs.logging` (``-v``/``-q`` tune it), so stdout stays
+machine-clean under ``--json`` and in pipelines.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
+from repro.obs.logging import get_logger, set_verbosity
+from repro.obs.trace import span
 from repro.util.rng import default_rng
+
+_log = get_logger("cli")
+
+
+@contextlib.contextmanager
+def _tracing(path: str | None):
+    """Collect a span trace for the enclosed block and write it to ``path``.
+
+    When the tracer is already live (running under ``hslb trace``), the
+    block just joins the ongoing trace and the file still gets written.
+    """
+    if not path:
+        yield
+        return
+    from repro.obs.trace import get_tracer
+
+    tracer = get_tracer()
+    owns = not tracer.enabled
+    if owns:
+        tracer.reset()
+        tracer.enable()
+    try:
+        yield
+    finally:
+        if owns:
+            tracer.disable()
+        lines = tracer.write_jsonl(path)
+        _log.info(f"trace written to {path}", spans=lines)
 
 
 def _add_fault_args(parser: argparse.ArgumentParser) -> None:
@@ -97,6 +134,19 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--seed", type=int, default=None, help="RNG seed")
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more progress chatter on stderr (repeatable)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress progress chatter (errors only)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     opt = sub.add_parser("optimize", help="run HSLB on a CESM configuration")
@@ -156,6 +206,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit a machine-readable JSON report instead of tables",
     )
+    opt.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL span trace of the pipeline run",
+    )
     _add_fault_args(opt)
     opt.add_argument(
         "--crash-component",
@@ -178,6 +234,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit a machine-readable JSON report instead of tables",
     )
+    fmo.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL span trace of the run",
+    )
     _add_fault_args(fmo)
     fmo.add_argument(
         "--crash-group",
@@ -197,6 +259,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="allocation service: JSONL requests in, JSONL answers out",
     )
     _add_service_args(srv)
+    srv.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL span trace of the serving session",
+    )
 
     bat = sub.add_parser(
         "batch", help="answer a JSON file of allocation requests in one batch"
@@ -239,6 +307,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("list", help="list registered experiments")
+
+    trc = sub.add_parser(
+        "trace",
+        help="run a subcommand under the span tracer, flamegraph on stderr",
+    )
+    trc.add_argument(
+        "rest",
+        nargs=argparse.REMAINDER,
+        help="subcommand (and flags) to run traced, e.g. `optimize --nodes 64`",
+    )
+
+    met = sub.add_parser(
+        "metrics",
+        help="print the metrics registry in Prometheus text format",
+    )
+    met.add_argument(
+        "rest",
+        nargs=argparse.REMAINDER,
+        help="optional subcommand to run first so the registry has data",
+    )
     return parser
 
 
@@ -251,49 +339,54 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     from repro.core.report import allocation_table, comparison_table, speedup_summary
     from repro.experiments.paper_data import BENCHMARK_CAMPAIGN
 
+    if args.nodes < 2:
+        _log.error(f"--nodes must be >= 2, got {args.nodes}")
+        return 2
     if args.resolution == "1deg":
         if args.free_ocean:
-            print("--free-ocean only applies to the 1/8-degree setup", file=sys.stderr)
+            _log.error("--free-ocean only applies to the 1/8-degree setup")
             return 2
         config = one_degree()
     else:
         config = eighth_degree(constrained_ocean=not args.free_ocean)
     layout = Layout(args.layout)
-    # With --json, stdout carries exactly one JSON document; progress chatter
-    # moves to stderr so pipelines can parse the output unconditionally.
-    info = sys.stderr if args.json else sys.stdout
     try:
         plan = _fault_plan_from_args(args, crash_component=args.crash_component)
     except ValueError as exc:
-        print(exc, file=sys.stderr)
+        _log.error(str(exc))
         return 2
+    # Chatter goes to stderr through the facade, so stdout carries exactly
+    # the report (one JSON document under --json) and pipelines can parse it.
     if plan is not None:
-        print(f"fault plan: {plan.describe()}\n", file=info)
+        _log.info(f"fault plan: {plan.describe()}")
     app = CESMApplication(config, layout=layout, tsync=args.tsync, faults=plan)
     if args.auto_campaign:
         from repro.cesm.campaign import plan_campaign
 
         cap = max(args.nodes * 4, args.nodes + 1)
         bench = list(plan_campaign(config, max_nodes=min(cap, config.machine_nodes)))
-        print(f"planned gather campaign: {bench}\n", file=info)
+        _log.info(f"planned gather campaign: {bench}")
     else:
         bench = args.benchmarks or list(BENCHMARK_CAMPAIGN[args.resolution])
     rng = default_rng(args.seed)
 
     optimizer = HSLBOptimizer(app)
-    if args.load_benchmarks:
-        from repro.perf.io import load_suite
+    with _tracing(args.trace_out):
+        with span("cli.optimize", config=config.name, nodes=int(args.nodes)):
+            if args.load_benchmarks:
+                from repro.perf.io import load_suite
 
-        suite = load_suite(args.load_benchmarks)
-    else:
-        suite = optimizer.gather(bench, rng)
-    if args.save_benchmarks:
-        from repro.perf.io import save_suite
+                suite = load_suite(args.load_benchmarks)
+                _log.debug(f"benchmark campaign loaded from {args.load_benchmarks}")
+            else:
+                suite = optimizer.gather(bench, rng)
+            if args.save_benchmarks:
+                from repro.perf.io import save_suite
 
-        save_suite(suite, args.save_benchmarks)
-        print(f"benchmark campaign saved to {args.save_benchmarks}\n", file=info)
-    fits = optimizer.fit(suite, rng)
-    result = optimizer.run_from_fits(fits, args.nodes, rng)
+                save_suite(suite, args.save_benchmarks)
+                _log.info(f"benchmark campaign saved to {args.save_benchmarks}")
+            fits = optimizer.fit(suite, rng)
+            result = optimizer.run_from_fits(fits, args.nodes, rng)
     if args.json:
         import json
 
@@ -383,13 +476,18 @@ def _cmd_fmo(args: argparse.Namespace) -> int:
     from repro.fmo.simulator import FMOSimulator
     from repro.util.tables import format_table
 
+    if args.nodes < args.fragments:
+        _log.error(
+            f"--nodes must cover every fragment ({args.fragments}), "
+            f"got {args.nodes}"
+        )
+        return 2
     rng = default_rng(args.seed)
     system = (
         protein_like(args.fragments, rng)
         if args.system == "protein"
         else water_cluster(args.fragments, rng)
     )
-    info = sys.stderr if args.json else sys.stdout
     try:
         plan = _fault_plan_from_args(
             args,
@@ -399,44 +497,48 @@ def _cmd_fmo(args: argparse.Namespace) -> int:
             ),
         )
     except ValueError as exc:
-        print(exc, file=sys.stderr)
+        _log.error(str(exc))
         return 2
     if plan is not None:
-        print(f"fault plan: {plan.describe()}\n", file=info)
+        _log.info(f"fault plan: {plan.describe()}")
     sim = FMOSimulator(system, faults=plan)
-    hs, sol = hslb_schedule(system, args.nodes)
-    rows = []
-    for sched in (
-        hs,
-        greedy_dynamic_schedule(system, args.nodes, max(2, args.fragments // 3)),
-        uniform_static_schedule(system, args.nodes, args.fragments),
-    ):
-        run = sim.execute(sched, default_rng(args.seed))
-        rows.append([sched.label, run.makespan, run.load_imbalance])
     recovery_rows = None
-    if plan is not None and plan.crash_group is not None:
-        from repro.fmo.recovery import STRATEGIES, run_with_crash
+    with _tracing(args.trace_out):
+        with span("cli.fmo", system=system.name, nodes=int(args.nodes)):
+            hs, sol = hslb_schedule(system, args.nodes)
+            rows = []
+            for sched in (
+                hs,
+                greedy_dynamic_schedule(
+                    system, args.nodes, max(2, args.fragments // 3)
+                ),
+                uniform_static_schedule(system, args.nodes, args.fragments),
+            ):
+                run = sim.execute(sched, default_rng(args.seed))
+                rows.append([sched.label, run.makespan, run.load_imbalance])
+            if plan is not None and plan.crash_group is not None:
+                from repro.fmo.recovery import STRATEGIES, run_with_crash
 
-        crashed = greedy_dynamic_schedule(
-            system, args.nodes, max(2, args.fragments // 3)
-        )
-        if not 0 <= plan.crash_group < crashed.n_groups:
-            print(
-                f"--crash-group must be in [0, {crashed.n_groups}) for this run",
-                file=sys.stderr,
-            )
-            return 2
-        recovery_rows = []
-        for strategy in STRATEGIES:
-            out = run_with_crash(
-                sim,
-                crashed,
-                crash_group=plan.crash_group,
-                crash_fraction=plan.crash_fraction,
-                strategy=strategy,
-                rng=default_rng(args.seed),
-            )
-            recovery_rows.append([strategy, out.makespan, out.degradation])
+                crashed = greedy_dynamic_schedule(
+                    system, args.nodes, max(2, args.fragments // 3)
+                )
+                if not 0 <= plan.crash_group < crashed.n_groups:
+                    _log.error(
+                        f"--crash-group must be in [0, {crashed.n_groups}) "
+                        "for this run"
+                    )
+                    return 2
+                recovery_rows = []
+                for strategy in STRATEGIES:
+                    out = run_with_crash(
+                        sim,
+                        crashed,
+                        crash_group=plan.crash_group,
+                        crash_fraction=plan.crash_fraction,
+                        strategy=strategy,
+                        rng=default_rng(args.seed),
+                    )
+                    recovery_rows.append([strategy, out.makespan, out.degradation])
     if args.json:
         import json
 
@@ -511,8 +613,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import serve_loop
 
     service = _service_from_args(args)
-    served = serve_loop(service, sys.stdin, sys.stdout, deadline=args.deadline)
-    print(f"served {served} request(s)", file=sys.stderr)
+    with _tracing(args.trace_out):
+        served = serve_loop(
+            service, sys.stdin, sys.stdout, deadline=args.deadline
+        )
+    _log.info(f"served {served} request(s)")
     print(service.metrics.render(), file=sys.stderr)
     return 0
 
@@ -531,15 +636,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         with open(args.requests) as fh:
             payloads = json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
-        print(f"cannot read {args.requests}: {exc}", file=sys.stderr)
+        _log.error(f"cannot read {args.requests}: {exc}")
         return 2
     if not isinstance(payloads, list):
-        print(f"{args.requests} must hold a JSON array of requests", file=sys.stderr)
+        _log.error(f"{args.requests} must hold a JSON array of requests")
         return 2
     try:
         requests = [SolveRequest.from_dict(p) for p in payloads]
     except ServiceRequestError as exc:
-        print(str(exc), file=sys.stderr)
+        _log.error(str(exc))
         return 2
     service = _service_from_args(args)
     executor = BatchExecutor(
@@ -551,7 +656,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     try:
         responses = executor.run(requests)
     except ServiceOverloadError as exc:
-        print(str(exc), file=sys.stderr)
+        _log.error(str(exc))
         return 3
     for response in responses:
         print(json.dumps(response.to_dict()))
@@ -568,7 +673,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     try:
         result = run_experiment(args.name, **kwargs)
     except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
+        _log.error(exc.args[0])
         return 2
     print(result.render())
     return 0
@@ -610,8 +715,47 @@ def _cmd_list() -> int:
     return 0
 
 
+def _strip_separator(rest: list[str]) -> list[str]:
+    """argparse.REMAINDER keeps a leading ``--``; drop it."""
+    return rest[1:] if rest and rest[0] == "--" else rest
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.trace import get_tracer
+
+    rest = _strip_separator(args.rest)
+    if not rest:
+        _log.error("trace needs a subcommand, e.g. `hslb trace optimize ...`")
+        return 2
+    tracer = get_tracer()
+    tracer.reset()
+    tracer.enable()
+    try:
+        code = main(rest)
+    finally:
+        tracer.disable()
+    print(tracer.render_flamegraph(), file=sys.stderr)
+    return code
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.export import prometheus_exposition
+    from repro.obs.metrics import REGISTRY
+    from repro.obs.telemetry import ensure_registered
+
+    rest = _strip_separator(args.rest)
+    if rest:
+        code = main(rest)
+        if code != 0:
+            return code
+    ensure_registered()
+    sys.stdout.write(prometheus_exposition(REGISTRY))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    set_verbosity(args.verbose, args.quiet)
     if args.command == "optimize":
         return _cmd_optimize(args)
     if args.command == "fmo":
@@ -624,6 +768,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "export":
         return _cmd_export(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     return _cmd_list()
 
 

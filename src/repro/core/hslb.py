@@ -31,6 +31,9 @@ import numpy as np
 
 from repro.core.spec import Allocation, Application, ExecutionResult
 from repro.faults.plan import BenchmarkRunError, NodeCrashError
+from repro.obs import telemetry
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span, trace_event
 from repro.minlp.bnb import BnBOptions
 from repro.minlp.nlpbb import solve_minlp_nlpbb
 from repro.minlp.oa import solve_minlp_oa
@@ -324,12 +327,13 @@ class HSLBOptimizer:
             raise ValueError("need at least two benchmark node counts")
         rng = rng or default_rng()
         counts = sorted(set(int(n) for n in node_counts))
-        if getattr(self.app, "fault_plan", None) is None:
-            # Clean machine: single-call path, bit-identical to the
-            # pre-resilience pipeline.
-            self.last_gather_report = GatherReport()
-            return self.app.benchmark(counts, rng)
-        return self._gather_resilient(counts, rng)
+        with span("hslb.gather", counts=len(counts)):
+            if getattr(self.app, "fault_plan", None) is None:
+                # Clean machine: single-call path, bit-identical to the
+                # pre-resilience pipeline.
+                self.last_gather_report = GatherReport()
+                return self.app.benchmark(counts, rng)
+            return self._gather_resilient(counts, rng)
 
     def _gather_resilient(
         self, counts: list[int], rng: np.random.Generator
@@ -383,6 +387,17 @@ class HSLBOptimizer:
                         backoff_seconds=backoff,
                     )
                 )
+        for rec in report.records:
+            if rec.outcome == "recovered":
+                REGISTRY.counter("hslb_gather_retries_total").inc(max(rec.attempts - 1, 1))
+            else:
+                REGISTRY.counter("hslb_gather_dropped_total").inc()
+            trace_event(
+                f"gather.{rec.outcome}",
+                nodes=rec.nodes,
+                attempts=rec.attempts,
+                kinds=",".join(rec.kinds),
+            )
         if len(report.dropped_counts) == len(counts):
             raise GatherDegradedError(
                 {name: "no surviving benchmark runs" for name in self.app.component_names},
@@ -426,15 +441,16 @@ class HSLBOptimizer:
         if self.config.prune_stragglers:
             suite = suite.pruned(min_points=FIT_MIN_POINTS)
         skipped: dict[str, str] = {}
-        fits = fit_suite(
-            suite,
-            convex=self.config.convex_fit,
-            multistart=self.config.fit_multistart,
-            rng=rng or default_rng(),
-            loss=self.config.fit_loss,
-            skip_degenerate=self.config.fit_skip_degenerate,
-            skipped=skipped,
-        )
+        with span("hslb.fit", components=len(suite.components)):
+            fits = fit_suite(
+                suite,
+                convex=self.config.convex_fit,
+                multistart=self.config.fit_multistart,
+                rng=rng or default_rng(),
+                loss=self.config.fit_loss,
+                skip_degenerate=self.config.fit_skip_degenerate,
+                skipped=skipped,
+            )
         if skipped and self.last_gather_report is not None:
             for name, reason in sorted(skipped.items()):
                 self.last_gather_report.warnings.append(
@@ -469,10 +485,13 @@ class HSLBOptimizer:
             name: (f.model if isinstance(f, FitResult) else f)
             for name, f in fits.items()
         }
-        problem = self.app.formulate(models, int(total_nodes))
-        allocation, solution, provenance = self._solve_chain(
-            problem, models, int(total_nodes), rng, x0=x0
-        )
+        with span("hslb.solve", total_nodes=int(total_nodes)) as sp:
+            problem = self.app.formulate(models, int(total_nodes))
+            allocation, solution, provenance = self._solve_chain(
+                problem, models, int(total_nodes), rng, x0=x0
+            )
+            sp.set_tag("tier", provenance.tier)
+            sp.set_tag("status", solution.status.value)
         self.last_provenance = provenance
         return allocation, solution
 
@@ -532,16 +551,26 @@ class HSLBOptimizer:
             warm = self._warm_start_point(models, total_nodes)
         start = time.perf_counter()
         attempts: list[SolverAttempt] = []
-        for tier in self._tiers():
+        tiers = self._tiers()
+        for i, tier in enumerate(tiers):
+            # Degradation provenance: every failed attempt hands off to the
+            # next tier (greedy after the last MINLP tier) and emits exactly
+            # one telemetry event carrying the triggering reason.
+            next_tier = tiers[i + 1] if i + 1 < len(tiers) else "greedy"
             remaining = None if budget is None else budget - (time.perf_counter() - start)
             if remaining is not None and remaining <= 0:
-                attempts.append(
-                    SolverAttempt(tier, "skipped", "wall budget exhausted")
+                attempt = SolverAttempt(tier, "skipped", "wall budget exhausted")
+                attempts.append(attempt)
+                telemetry.record_degradation(
+                    tier, next_tier, attempt.status, attempt.reason
                 )
                 continue
             if plan is not None and plan.solver_fails(tier):
-                attempts.append(
-                    SolverAttempt(tier, "stalled", "injected solver stall")
+                telemetry.record_fault("solver_stall", "solve")
+                attempt = SolverAttempt(tier, "stalled", "injected solver stall")
+                attempts.append(attempt)
+                telemetry.record_degradation(
+                    tier, next_tier, attempt.status, attempt.reason
                 )
                 continue
             opts = self.config.bnb.with_budget(wall_seconds=remaining)
@@ -549,21 +578,28 @@ class HSLBOptimizer:
             try:
                 sol = self._solve_tier(tier, problem, opts, rng, x0=warm)
             except (ValueError, RuntimeError, FloatingPointError) as exc:
-                attempts.append(
-                    SolverAttempt(
-                        tier, "error", str(exc), time.perf_counter() - tick
-                    )
+                attempt = SolverAttempt(
+                    tier,
+                    "error",
+                    f"{type(exc).__name__}: {exc}",
+                    time.perf_counter() - tick,
+                )
+                attempts.append(attempt)
+                telemetry.record_degradation(
+                    tier, next_tier, attempt.status, attempt.reason
                 )
                 continue
             wall = time.perf_counter() - tick
             if not sol.status.is_ok:
-                attempts.append(
-                    SolverAttempt(
-                        tier,
-                        sol.status.value,
-                        sol.message or f"solver returned {sol.status.value}",
-                        wall,
-                    )
+                attempt = SolverAttempt(
+                    tier,
+                    sol.status.value,
+                    sol.message or f"solver returned {sol.status.value}",
+                    wall,
+                )
+                attempts.append(attempt)
+                telemetry.record_degradation(
+                    tier, next_tier, attempt.status, attempt.reason
                 )
                 continue
             attempts.append(SolverAttempt(tier, "ok", "solved", wall))
@@ -605,7 +641,8 @@ class HSLBOptimizer:
         rng: np.random.Generator | None = None,
     ) -> ExecutionResult:
         """Run the application at the chosen allocation."""
-        return self.app.execute(allocation, rng or default_rng())
+        with span("hslb.execute", nodes=sum(allocation.nodes.values())):
+            return self.app.execute(allocation, rng or default_rng())
 
     # -- the whole pipeline --------------------------------------------------
 
@@ -619,9 +656,10 @@ class HSLBOptimizer:
     ) -> HSLBResult:
         """Gather, fit, solve, and (optionally) execute in one call."""
         rng = rng or default_rng()
-        suite = self.gather(benchmark_node_counts, rng)
-        fits = self.fit(suite, rng)
-        return self.run_from_fits(fits, total_nodes, rng, execute=execute)
+        with span("hslb.run", total_nodes=int(total_nodes)):
+            suite = self.gather(benchmark_node_counts, rng)
+            fits = self.fit(suite, rng)
+            return self.run_from_fits(fits, total_nodes, rng, execute=execute)
 
     def run_from_fits(
         self,
@@ -634,6 +672,7 @@ class HSLBOptimizer:
     ) -> HSLBResult:
         """Steps 3–4 when benchmark data/fits already exist."""
         rng = rng or default_rng()
+        REGISTRY.counter("hslb_pipeline_runs_total").inc()
         allocation, solution = self.solve(fits, total_nodes, rng, x0=x0)
         models = {name: f.model for name, f in fits.items()}
         predicted = self.app.predicted_times(models, allocation)
@@ -670,6 +709,14 @@ class HSLBOptimizer:
         """
         surviving = result.total_nodes - crash.lost_nodes
         wasted = crash.fraction * float(result.predicted_total)
+        telemetry.record_fault("node_crash", "execute")
+        REGISTRY.counter("hslb_execution_recoveries_total").inc()
+        trace_event(
+            "execute.recovering",
+            component=crash.component,
+            lost_nodes=crash.lost_nodes,
+            surviving=surviving,
+        )
         recovery = ExecutionRecovery(
             component=crash.component,
             lost_nodes=crash.lost_nodes,

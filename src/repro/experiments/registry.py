@@ -17,6 +17,8 @@ from repro.experiments import (
     robustness,
     table3,
 )
+from repro.obs.logging import get_logger
+from repro.obs.trace import span
 
 #: Every reproducible artifact, keyed by the DESIGN.md experiment id.
 EXPERIMENTS: dict[str, Callable[..., object]] = {
@@ -66,4 +68,9 @@ def run_experiment(name: str, **kwargs) -> object:
         raise KeyError(
             f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
         ) from None
-    return runner(**kwargs)
+    log = get_logger("experiments")
+    log.info(f"running experiment {name}")
+    with span("experiment", experiment=name):
+        result = runner(**kwargs)
+    log.debug(f"experiment {name} finished")
+    return result

@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import telemetry
+
 _KINDS = ("failure", "timeout", "permanent")
 
 
@@ -168,6 +170,7 @@ class FaultPlan:
         """Raise :class:`BenchmarkRunError` when the run is injected to fail."""
         fault = self.benchmark_fault(scope, nodes, attempt)
         if fault is not None:
+            telemetry.record_fault(fault.kind, "gather")
             raise BenchmarkRunError(fault)
 
     def straggler_multiplier(
@@ -178,6 +181,7 @@ class FaultPlan:
             return 1.0
         r = self._rng("straggler", scope, unit, int(nodes), int(attempt))
         if r.random() < self.straggler_rate:
+            telemetry.record_fault("straggler", "gather")
             return float(r.uniform(1.5, self.straggler_scale))
         return 1.0
 

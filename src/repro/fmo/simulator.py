@@ -17,6 +17,7 @@ from repro.faults.plan import FaultPlan
 from repro.fmo.gddi import GroupSchedule
 from repro.fmo.molecules import FragmentedSystem
 from repro.fmo.timing import MachineCalibration, total_fragment_model
+from repro.obs.trace import span
 from repro.perf.data import BenchmarkSuite, ComponentBenchmark, ScalingObservation
 from repro.perf.model import PerformanceModel
 from repro.util.rng import default_rng, spawn_rng
@@ -85,10 +86,14 @@ class FMOSimulator:
         streams = spawn_rng(rng, self.system.n_fragments)
         frag_times: dict[int, float] = {}
         group_times = [0.0] * schedule.n_groups
-        for frag, grp in enumerate(schedule.assignment):
-            t = self.fragment_seconds(frag, schedule.group_sizes[grp], streams[frag])
-            frag_times[frag] = t
-            group_times[grp] += t
+        with span("fmo.execute", groups=schedule.n_groups) as sp:
+            for frag, grp in enumerate(schedule.assignment):
+                t = self.fragment_seconds(
+                    frag, schedule.group_sizes[grp], streams[frag]
+                )
+                frag_times[frag] = t
+                group_times[grp] += t
+            sp.set_tag("makespan", round(max(group_times), 6))
         return FMOExecutionResult(
             group_times=tuple(group_times),
             makespan=max(group_times),
@@ -112,25 +117,30 @@ class FMOSimulator:
         stragglers on the recorded observations.
         """
         suite = BenchmarkSuite()
-        for size in group_sizes:
-            if size < 1:
-                raise ValueError(f"group size must be >= 1, got {size}")
-            if self.faults is not None:
-                self.faults.check_benchmark("fmo", int(size), attempt)
-            for frag in range(self.system.n_fragments):
-                seconds = self.fragment_seconds(frag, int(size), rng)
-                status = "ok"
+        with span(
+            "fmo.benchmark",
+            sizes=len(group_sizes),
+            fragments=self.system.n_fragments,
+        ):
+            for size in group_sizes:
+                if size < 1:
+                    raise ValueError(f"group size must be >= 1, got {size}")
                 if self.faults is not None:
-                    mult = self.faults.straggler_multiplier(
-                        "fmo", frag, int(size), attempt
+                    self.faults.check_benchmark("fmo", int(size), attempt)
+                for frag in range(self.system.n_fragments):
+                    seconds = self.fragment_seconds(frag, int(size), rng)
+                    status = "ok"
+                    if self.faults is not None:
+                        mult = self.faults.straggler_multiplier(
+                            "fmo", frag, int(size), attempt
+                        )
+                        if mult > 1.0:
+                            seconds *= mult
+                            status = "straggler"
+                    suite.add(
+                        ComponentBenchmark(
+                            f"frag{frag}",
+                            [ScalingObservation(int(size), seconds, status=status)],
+                        )
                     )
-                    if mult > 1.0:
-                        seconds *= mult
-                        status = "straggler"
-                suite.add(
-                    ComponentBenchmark(
-                        f"frag{frag}",
-                        [ScalingObservation(int(size), seconds, status=status)],
-                    )
-                )
         return suite

@@ -31,7 +31,10 @@ from dataclasses import dataclass
 from repro.minlp.expr import Expr
 from repro.minlp.problem import Problem, SOS1, Sense
 from repro.minlp.solution import Solution, SolveStats, Status
+from repro.obs.trace import get_tracer
 from repro.util.timing import Timer
+
+_TRACER = get_tracer()
 
 #: A relaxation solver maps a bounded problem to a Solution.
 RelaxSolver = Callable[[Problem], Solution]
@@ -358,6 +361,13 @@ class BranchAndBound:
                             incumbent, incumbent_obj = dict(cand_values), cand_signed
                             stats.incumbent_updates += 1
                             log(f"incumbent (NLP) {cand_obj:.6g}")
+                            if _TRACER.enabled:
+                                _TRACER.event(
+                                    "bnb.incumbent",
+                                    objective=cand_obj,
+                                    source="nlp",
+                                    node=stats.nodes_explored,
+                                )
                     added = 0
                     for cut in cuts:
                         if self.add_global_cut(*cut):
@@ -372,6 +382,13 @@ class BranchAndBound:
                     incumbent, incumbent_obj = dict(values), obj_signed
                     stats.incumbent_updates += 1
                     log(f"incumbent {rel.objective:.6g}")
+                    if _TRACER.enabled:
+                        _TRACER.event(
+                            "bnb.incumbent",
+                            objective=rel.objective,
+                            source="relaxation",
+                            node=stats.nodes_explored,
+                        )
                 continue  # leaf: fathomed by integrality
 
             if sos_viol is not None:

@@ -15,6 +15,8 @@ from repro.minlp.bnb import BnBOptions, BranchAndBound
 from repro.minlp.nlp import solve_nlp
 from repro.minlp.problem import Problem
 from repro.minlp.solution import Solution
+from repro.obs import telemetry
+from repro.obs.trace import span
 
 
 def solve_minlp_nlpbb(
@@ -38,6 +40,25 @@ def solve_minlp_nlpbb(
     into a feasible incumbent before the search (finite primal bound from
     node one) and seeds every node relaxation's NLP solve.
     """
+    with span("minlp.nlpbb", problem=problem.name):
+        sol = _solve_minlp_nlpbb_impl(
+            problem, options, multistart=multistart, rng=rng,
+            time_limit=time_limit, x0=x0,
+        )
+        telemetry.record_warm_start(x0 is not None)
+        telemetry.record_solve("nlpbb", sol.stats, sol.status.value)
+    return sol
+
+
+def _solve_minlp_nlpbb_impl(
+    problem: Problem,
+    options: BnBOptions | None,
+    *,
+    multistart: int,
+    rng: np.random.Generator | None,
+    time_limit: float | None,
+    x0: dict[str, float] | None,
+) -> Solution:
     if time_limit is not None:
         options = (options or BnBOptions()).with_budget(wall_seconds=time_limit)
 

@@ -30,6 +30,8 @@ import numpy as np
 
 from repro.minlp.bnb import BnBOptions, BranchAndBound
 from repro.minlp.expr import Expr, VarRef, linearize
+from repro.obs import telemetry
+from repro.obs.trace import span, trace_event
 from repro.minlp.milp import solve_milp
 from repro.minlp.nlp import solve_nlp
 from repro.minlp.problem import Constraint, Problem, Sense
@@ -177,6 +179,31 @@ def solve_minlp_oa(
     cuts at the incumbent before the first master solve.  An infeasible or
     useless ``x0`` costs two small NLP solves and is otherwise ignored.
     """
+    with span("minlp.oa", problem=problem.name):
+        sol = _solve_minlp_oa_impl(
+            problem,
+            options,
+            feas_tol=feas_tol,
+            nlp_multistart=nlp_multistart,
+            rng=rng,
+            time_limit=time_limit,
+            x0=x0,
+        )
+        telemetry.record_warm_start(x0 is not None)
+        telemetry.record_solve("oa", sol.stats, sol.status.value)
+    return sol
+
+
+def _solve_minlp_oa_impl(
+    problem: Problem,
+    options: BnBOptions | None,
+    *,
+    feas_tol: float,
+    nlp_multistart: int,
+    rng: np.random.Generator | None,
+    time_limit: float | None,
+    x0: dict[str, float] | None,
+) -> Solution:
     opts = options or BnBOptions()
     if time_limit is not None:
         opts = opts.with_budget(wall_seconds=time_limit)
@@ -260,6 +287,12 @@ def solve_minlp_oa(
             cuts.append(_cut_for(con, values, f"oa{next(cut_counter)}"))
         if violated and candidate is None and sub.status is Status.INFEASIBLE:
             pass  # feasibility cuts above already exclude this assignment's point
+        trace_event(
+            "oa.iteration",
+            cuts=len(cuts),
+            subproblem=sub.status.value,
+            incumbent=candidate is not None,
+        )
         return cuts, candidate
 
     engine = BranchAndBound(master, "lp", opts, lazy_cuts=lazy, incumbent=incumbent)

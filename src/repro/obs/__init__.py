@@ -1,0 +1,42 @@
+"""Unified observability: tracing, metrics, logging, and exporters.
+
+Zero-dependency instrumentation for the HSLB pipeline and the allocation
+service, built from four small pieces:
+
+* :mod:`repro.obs.trace` — a span-based tracer.  ``with span("solve"):``
+  produces a nested span tree with wall-times, tags, and point events;
+  disabled (the default) it costs one attribute check and returns a shared
+  no-op span, so instrumented hot paths stay hot.
+* :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges,
+  and fixed-bucket histograms.  :class:`repro.service.metrics.ServiceMetrics`
+  mirrors into it, so one scrape covers the whole process.
+* :mod:`repro.obs.logging` — a structured logging facade replacing raw
+  ``print`` chatter: leveled, always on stderr, machine-clean stdout.
+* :mod:`repro.obs.export` — exporters: JSONL trace dumps, Prometheus text
+  exposition (with a round-trip parser), and ASCII timeline/flamegraph
+  renders of a finished trace.
+
+Determinism contract: observability *records* wall-clock but never feeds it
+back — span/metric state must not influence solver decisions, RNG streams,
+or the service's request fingerprints (see DESIGN.md "Observability").
+"""
+
+from repro.obs.logging import configure_logging, get_logger, set_verbosity
+from repro.obs.metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Span, Tracer, get_tracer, span, trace_event
+
+__all__ = [
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "get_tracer",
+    "set_verbosity",
+    "span",
+    "trace_event",
+]

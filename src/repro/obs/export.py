@@ -1,0 +1,200 @@
+"""Exporters: JSONL traces, Prometheus text exposition, ASCII flamegraphs.
+
+Three ways out of the observability layer:
+
+* :func:`trace_to_jsonl` — one JSON object per span, depth-first, each line
+  carrying ``name/path/depth/start/duration/tags/events`` so downstream
+  tools can stream-filter without reassembling the tree;
+* :func:`prometheus_exposition` / :func:`parse_prometheus` — the classic
+  ``# HELP``/``# TYPE``/sample text format and a parser that round-trips
+  it (a test pins ``parse(expose(registry)) == registry samples``);
+* :func:`render_flamegraph` / :func:`render_timeline` — terminal pictures
+  of a finished trace, sharing canvas conventions with
+  :mod:`repro.util.ascii_plot` (via :func:`repro.util.ascii_plot.ascii_bar`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import MetricsRegistry
+from repro.util.ascii_plot import ascii_bar
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import Tracer
+
+
+# -- JSONL trace dump --------------------------------------------------------
+
+
+def trace_to_jsonl(tracer: "Tracer") -> str:
+    """Serialize every recorded span, one JSON object per line, depth-first."""
+    lines: list[str] = []
+    for root in list(tracer.roots):
+        path: list[str] = []
+        for span, depth in root.walk():
+            del path[depth:]
+            path.append(span.name)
+            lines.append(
+                json.dumps(
+                    {
+                        "name": span.name,
+                        "path": "/".join(path),
+                        "depth": depth,
+                        "start": round(span.start, 9),
+                        "duration": round(span.duration, 9),
+                        "tags": dict(span.tags),
+                        "events": [dict(e) for e in span.events],
+                    },
+                    sort_keys=True,
+                    default=str,
+                )
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_trace_jsonl(text: str) -> list[dict]:
+    """Parse a JSONL trace dump back into flat span records."""
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def prometheus_exposition(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text format (version 0.0.4)."""
+    lines: list[str] = []
+    for metric in registry:
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for name, key, value in metric.samples():
+            if key:
+                labels = ",".join(f'{k}="{_escape_label(v)}"' for k, v in key)
+                lines.append(f"{name}{{{labels}}} {value:g}")
+            else:
+                lines.append(f"{name} {value:g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> dict[str, dict[tuple[tuple[str, str], ...], float]]:
+    """Parse exposition text into ``{sample_name: {label_key: value}}``.
+
+    Understands exactly what :func:`prometheus_exposition` emits (quoted
+    label values with escapes, ``# HELP``/``# TYPE`` comments); used by the
+    round-trip test and by ``repro metrics`` consumers in shell pipelines.
+    """
+    out: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            labels_text, value_text = rest.rsplit("}", 1)
+            labels: list[tuple[str, str]] = []
+            i = 0
+            while i < len(labels_text):
+                eq = labels_text.index("=", i)
+                key = labels_text[i:eq]
+                if labels_text[eq + 1] != '"':
+                    raise ValueError(f"unquoted label value in {line!r}")
+                j = eq + 2
+                chunk: list[str] = []
+                while labels_text[j] != '"':
+                    if labels_text[j] == "\\":
+                        esc = labels_text[j + 1]
+                        chunk.append({"n": "\n", '"': '"', "\\": "\\"}[esc])
+                        j += 2
+                    else:
+                        chunk.append(labels_text[j])
+                        j += 1
+                labels.append((key, "".join(chunk)))
+                i = j + 1
+                if i < len(labels_text) and labels_text[i] == ",":
+                    i += 1
+            key_tuple = tuple(labels)
+        else:
+            parts = line.split()
+            name, value_text = parts[0], parts[-1]
+            key_tuple = ()
+        out.setdefault(name.strip(), {})[key_tuple] = float(value_text)
+    return out
+
+
+def registry_samples(
+    registry: MetricsRegistry,
+) -> dict[str, dict[tuple[tuple[str, str], ...], float]]:
+    """The registry's samples in the same shape :func:`parse_prometheus` returns."""
+    out: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
+    for metric in registry:
+        for name, key, value in metric.samples():
+            out.setdefault(name, {})[tuple(key)] = value
+    return out
+
+
+# -- ASCII flamegraph / timeline ---------------------------------------------
+
+
+def render_flamegraph(tracer: "Tracer", *, width: int = 72) -> str:
+    """Indented span tree with duration bars — a terminal flamegraph.
+
+    Bar lengths are proportional to each span's share of its root's
+    duration, so a glance shows where the pipeline's time went::
+
+        hslb.run                 1.00s  ################################
+          gather                 0.62s  ####################
+          fit                    0.21s  ######
+          solve                  0.15s  ####
+    """
+    roots = list(tracer.roots)
+    if not roots:
+        return "(empty trace)"
+    label_width = max(
+        len("  " * depth + span.name) for root in roots for span, depth in root.walk()
+    )
+    bar_width = max(8, width - label_width - 12)
+    lines: list[str] = []
+    for root in roots:
+        total = root.duration or max(
+            (s.duration for s, _ in root.walk()), default=0.0
+        )
+        for span, depth in root.walk():
+            label = "  " * depth + span.name
+            share = (span.duration / total) if total > 0 else 0.0
+            bar = ascii_bar(share, width=bar_width)
+            suffix = f" +{len(span.events)}ev" if span.events else ""
+            lines.append(
+                f"{label:<{label_width}}  {span.duration * 1e3:9.3f}ms  {bar}{suffix}"
+            )
+    return "\n".join(lines)
+
+
+def render_timeline(tracer: "Tracer", *, width: int = 72) -> str:
+    """Gantt-style view: each span as a ``[===]`` segment on a shared clock."""
+    roots = list(tracer.roots)
+    spans = [(s, d) for root in roots for s, d in root.walk()]
+    if not spans:
+        return "(empty trace)"
+    t0 = min(s.start for s, _ in spans)
+    t1 = max((s.end if s.end is not None else s.start) for s, _ in spans)
+    span_range = (t1 - t0) or 1.0
+    label_width = max(len("  " * d + s.name) for s, d in spans)
+    track = max(16, width - label_width - 3)
+    lines = [f"{'':<{label_width}}  0s .. {span_range:.3g}s"]
+    for span, depth in spans:
+        lo = int((span.start - t0) / span_range * (track - 1))
+        hi = int(((span.end if span.end is not None else span.start) - t0)
+                 / span_range * (track - 1))
+        row = [" "] * track
+        row[lo] = "["
+        row[min(hi + 1, track - 1)] = "]"
+        for i in range(lo + 1, min(hi + 1, track - 1)):
+            row[i] = "="
+        lines.append(f"{'  ' * depth + span.name:<{label_width}}  {''.join(row)}")
+    return "\n".join(lines)

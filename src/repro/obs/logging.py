@@ -1,0 +1,99 @@
+"""Structured logging facade: leveled stderr chatter, machine-clean stdout.
+
+The library and CLI used to ``print()`` progress chatter; this facade
+replaces that with named, leveled loggers that always write to **stderr**
+(configurable for tests), so stdout stays parseable under ``--json`` and in
+shell pipelines.  Zero dependencies and deliberately tiny — a level gate, a
+``key=value`` structured tail, one line per record::
+
+    [info] repro.cli: planned gather campaign counts=[32, 64, 128]
+
+Levels map onto CLI verbosity: ``--quiet`` -> error, default -> info,
+``-v`` -> debug.  The default level is **info** so existing progress
+chatter stays visible (now on stderr).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, TextIO
+
+DEBUG, INFO, WARNING, ERROR = 10, 20, 30, 40
+
+_LEVEL_NAMES = {DEBUG: "debug", INFO: "info", WARNING: "warning", ERROR: "error"}
+_NAME_LEVELS = {v: k for k, v in _LEVEL_NAMES.items()}
+
+
+class _State:
+    level: int = INFO
+    stream: TextIO | None = None  # None: resolve sys.stderr at emit time
+
+
+_STATE = _State()
+
+
+def configure_logging(
+    *, level: int | str | None = None, stream: TextIO | None = None
+) -> None:
+    """Set the global level and/or output stream (tests pass a StringIO)."""
+    if level is not None:
+        if isinstance(level, str):
+            try:
+                level = _NAME_LEVELS[level.lower()]
+            except KeyError:
+                raise ValueError(f"unknown log level {level!r}") from None
+        _STATE.level = int(level)
+    if stream is not None:
+        _STATE.stream = stream
+
+
+def set_verbosity(verbose: int = 0, quiet: bool = False) -> None:
+    """Map CLI flags to a level: quiet -> error, default -> info, -v -> debug."""
+    if quiet:
+        configure_logging(level=ERROR)
+    elif verbose > 0:
+        configure_logging(level=DEBUG)
+    else:
+        configure_logging(level=INFO)
+
+
+class Logger:
+    """A named emitter; cheap enough to create per module."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def log(self, level: int, msg: str, **fields: Any) -> None:
+        if level < _STATE.level:
+            return
+        stream = _STATE.stream if _STATE.stream is not None else sys.stderr
+        tail = "".join(f" {k}={v}" for k, v in fields.items())
+        stream.write(f"[{_LEVEL_NAMES.get(level, level)}] {self.name}: {msg}{tail}\n")
+
+    def debug(self, msg: str, **fields: Any) -> None:
+        self.log(DEBUG, msg, **fields)
+
+    def info(self, msg: str, **fields: Any) -> None:
+        self.log(INFO, msg, **fields)
+
+    def warning(self, msg: str, **fields: Any) -> None:
+        self.log(WARNING, msg, **fields)
+
+    def error(self, msg: str, **fields: Any) -> None:
+        self.log(ERROR, msg, **fields)
+
+    def isEnabledFor(self, level: int) -> bool:
+        return level >= _STATE.level
+
+
+_LOGGERS: dict[str, Logger] = {}
+
+
+def get_logger(name: str) -> Logger:
+    """Get-or-create the named logger."""
+    logger = _LOGGERS.get(name)
+    if logger is None:
+        logger = _LOGGERS[name] = Logger(name)
+    return logger

@@ -1,0 +1,94 @@
+"""Solver and pipeline telemetry: the metric families the toolkit emits.
+
+One module owns every metric name so the naming scheme stays coherent
+(``hslb_*`` for the pipeline, ``solver_*`` for the MINLP stack,
+``service_*`` for the allocation service, ``faults_*`` for injection —
+see DESIGN.md "Observability").  Recording functions are cheap (a couple
+of dict operations) and *unconditional*; per-iteration trace events are
+additionally gated on the tracer so solver inner loops pay one attribute
+check while tracing is off.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import get_tracer
+
+_TR = get_tracer()
+
+
+def ensure_registered() -> None:
+    """Pre-register the standard families so an empty scrape names them."""
+    REGISTRY.counter("solver_nodes_explored_total", "B&B nodes explored")
+    REGISTRY.counter("solver_nodes_pruned_total", "B&B nodes pruned")
+    REGISTRY.counter("solver_nlp_solves_total", "NLP subproblem solves")
+    REGISTRY.counter("solver_lp_solves_total", "LP relaxation solves")
+    REGISTRY.counter("solver_cuts_added_total", "OA linearization cuts added")
+    REGISTRY.counter("solver_incumbent_updates_total", "incumbent improvements")
+    REGISTRY.counter("solver_warm_starts_total", "x0 warm-start attempts")
+    REGISTRY.histogram("solver_wall_seconds", "per-solve wall time")
+    REGISTRY.counter("hslb_degradations_total", "solver tier fallbacks")
+    REGISTRY.counter("hslb_pipeline_runs_total", "HSLB pipeline entries")
+    REGISTRY.counter("hslb_gather_retries_total", "gather benchmark retries")
+    REGISTRY.counter("hslb_gather_dropped_total", "gather points dropped")
+    REGISTRY.counter("hslb_execution_recoveries_total", "mid-run crash recoveries")
+    REGISTRY.counter("faults_injected_total", "injected faults by kind")
+
+
+def record_solve(algorithm: str, stats, status: str) -> None:
+    """Fold one finished MINLP solve's :class:`SolveStats` into the registry."""
+    REGISTRY.counter("solver_nodes_explored_total").inc(
+        stats.nodes_explored, algorithm=algorithm
+    )
+    REGISTRY.counter("solver_nodes_pruned_total").inc(
+        stats.nodes_pruned, algorithm=algorithm
+    )
+    REGISTRY.counter("solver_nlp_solves_total").inc(stats.nlp_solves, algorithm=algorithm)
+    REGISTRY.counter("solver_lp_solves_total").inc(stats.lp_solves, algorithm=algorithm)
+    REGISTRY.counter("solver_cuts_added_total").inc(stats.cuts_added, algorithm=algorithm)
+    REGISTRY.counter("solver_incumbent_updates_total").inc(
+        stats.incumbent_updates, algorithm=algorithm
+    )
+    REGISTRY.histogram("solver_wall_seconds").observe(
+        stats.wall_time, algorithm=algorithm, status=status
+    )
+    if _TR.enabled:
+        _TR.event(
+            "solver.finished",
+            algorithm=algorithm,
+            status=status,
+            nodes=stats.nodes_explored,
+            nlp_solves=stats.nlp_solves,
+            cuts=stats.cuts_added,
+            incumbents=stats.incumbent_updates,
+        )
+
+
+def record_warm_start(used: bool) -> None:
+    REGISTRY.counter("solver_warm_starts_total").inc(used=str(bool(used)).lower())
+
+
+def record_degradation(from_tier: str, to_tier: str, status: str, reason: str) -> None:
+    """Exactly one event + counter bump per degradation-chain transition.
+
+    ``reason`` carries the triggering exception/status message as
+    provenance, so a trace shows *why* the chain moved tiers.
+    """
+    REGISTRY.counter("hslb_degradations_total").inc(
+        from_tier=from_tier, to_tier=to_tier
+    )
+    if _TR.enabled:
+        _TR.event(
+            "solver.degraded",
+            from_tier=from_tier,
+            to_tier=to_tier,
+            status=status,
+            reason=reason,
+        )
+
+
+def record_fault(kind: str, stage: str) -> None:
+    """An injected fault fired (gather crash, solver stall, node loss)."""
+    REGISTRY.counter("faults_injected_total").inc(kind=kind, stage=stage)
+    if _TR.enabled:
+        _TR.event("fault.injected", kind=kind, stage=stage)

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import least_squares
 
+from repro.obs.trace import span
 from repro.perf.data import BenchmarkSuite, ComponentBenchmark
 from repro.perf.model import PerformanceModel
 from repro.util.rng import default_rng
@@ -300,25 +301,30 @@ def fit_suite(
 
         names = sorted(fittable)
         streams = spawn_rng(rng, len(names))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                name: pool.submit(
-                    fit_component,
-                    suite[name],
-                    convex=convex,
-                    multistart=multistart,
-                    rng=stream,
-                    loss=loss,
-                )
-                for name, stream in zip(names, streams)
-            }
-            return {name: fut.result() for name, fut in futures.items()}
-    return {
-        name: fit_component(
-            suite[name], convex=convex, multistart=multistart, rng=rng, loss=loss
-        )
-        for name in fittable
-    }
+        with span("fit.pool", workers=workers, components=len(names)):
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    name: pool.submit(
+                        fit_component,
+                        suite[name],
+                        convex=convex,
+                        multistart=multistart,
+                        rng=stream,
+                        loss=loss,
+                    )
+                    for name, stream in zip(names, streams)
+                }
+                return {name: fut.result() for name, fut in futures.items()}
+    fits: dict[str, FitResult] = {}
+    for name in fittable:
+        with span("fit.component", component=name) as sp:
+            fit = fit_component(
+                suite[name], convex=convex, multistart=multistart, rng=rng, loss=loss
+            )
+            sp.set_tag("r_squared", round(fit.r_squared, 6))
+            sp.set_tag("points", fit.n_points)
+        fits[name] = fit
+    return fits
 
 
 def leave_one_out_rmse(

@@ -66,9 +66,9 @@ class BatchExecutor:
         responses in their slot — one bad request never poisons the batch.
         """
         metrics = self.service.metrics
-        metrics.batch_requests += len(requests)
         if len(requests) > self.max_pending:
-            metrics.overloads += 1
+            metrics.record_batch(len(requests))
+            metrics.record_overload()
             raise ServiceOverloadError(
                 pending=len(requests), capacity=self.max_pending
             )
@@ -77,7 +77,7 @@ class BatchExecutor:
         unique: dict[str, SolveRequest] = {}
         for fp, req in zip(fingerprints, requests):
             unique.setdefault(fp, req)
-        metrics.batch_deduped += len(requests) - len(unique)
+        metrics.record_batch(len(requests), deduped=len(requests) - len(unique))
 
         misses = {
             fp: req for fp, req in unique.items() if fp not in self.service.cache
@@ -157,7 +157,7 @@ class BatchExecutor:
                     outcome = SolveOutcome.from_dict(fut.result(timeout=grace))
                 except FutureTimeout:
                     fut.cancel()
-                    metrics.timeouts += 1
+                    metrics.record_timeout()
                     answered[fp] = ServiceResponse.error(
                         fingerprint=fp,
                         status=Status.TIME_LIMIT.value,
@@ -176,7 +176,7 @@ class BatchExecutor:
                 if ok:
                     self.service.admit(req, outcome)
                 elif outcome.status == Status.TIME_LIMIT.value:
-                    metrics.timeouts += 1
+                    metrics.record_timeout()
                 answered[fp] = ServiceResponse.from_outcome(
                     outcome, cached=False, latency=outcome.wall_time, donor=donor
                 )

@@ -12,6 +12,7 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import REGISTRY
 from repro.util.tables import format_table
 
 #: Log-spaced latency bucket upper bounds, in seconds.
@@ -38,6 +39,11 @@ class LatencyHistogram:
         self.counts[bisect.bisect_left(self.buckets, seconds)] += 1
         self.total += 1
         self.sum += seconds
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.total = 0
+        self.sum = 0.0
 
     @property
     def mean(self) -> float:
@@ -110,23 +116,62 @@ class ServiceMetrics:
         self.requests += 1
         self.cache_hits += 1
         self.request_latency.observe(latency)
+        REGISTRY.counter("service_requests_total").inc(outcome="hit")
+        REGISTRY.histogram("service_request_seconds").observe(latency)
 
     def record_solve(
         self, latency: float, *, warm: bool, iterations: int, ok: bool
     ) -> None:
         self.requests += 1
         self.request_latency.observe(latency)
+        REGISTRY.histogram("service_request_seconds").observe(latency)
         if not ok:
             self.solve_errors += 1
+            REGISTRY.counter("service_requests_total").inc(outcome="error")
             return
         if warm:
             self.warm_solves += 1
             self.warm_iterations += iterations
             self.warm_latency.observe(latency)
+            REGISTRY.counter("service_requests_total").inc(outcome="warm")
         else:
             self.cold_solves += 1
             self.cold_iterations += iterations
             self.cold_latency.observe(latency)
+            REGISTRY.counter("service_requests_total").inc(outcome="cold")
+
+    def record_timeout(self) -> None:
+        self.timeouts += 1
+        REGISTRY.counter("service_timeouts_total").inc()
+
+    def record_overload(self) -> None:
+        self.overloads += 1
+        REGISTRY.counter("service_overloads_total").inc()
+
+    def record_batch(self, requests: int, *, deduped: int = 0) -> None:
+        self.batch_requests += requests
+        self.batch_deduped += deduped
+        REGISTRY.counter("service_batch_requests_total").inc(requests)
+        if deduped:
+            REGISTRY.counter("service_batch_deduped_total").inc(deduped)
+
+    def reset(self) -> None:
+        """Zero every counter and histogram (the registry mirror is global
+        and keeps accumulating; reset that separately if needed)."""
+        self.requests = 0
+        self.cache_hits = 0
+        self.cold_solves = 0
+        self.warm_solves = 0
+        self.solve_errors = 0
+        self.timeouts = 0
+        self.overloads = 0
+        self.batch_requests = 0
+        self.batch_deduped = 0
+        self.cold_iterations = 0
+        self.warm_iterations = 0
+        self.request_latency.reset()
+        self.cold_latency.reset()
+        self.warm_latency.reset()
 
     def snapshot(self) -> dict:
         """One structured, JSON-ready view of every counter and histogram."""

@@ -24,6 +24,7 @@ from collections import defaultdict
 from collections.abc import Callable
 
 from repro.minlp.solution import Status
+from repro.obs.trace import span
 from repro.service.cache import SolutionCache
 from repro.service.errors import ServiceTimeoutError
 from repro.service.metrics import ServiceMetrics
@@ -64,6 +65,15 @@ class AllocationService:
         *model's* fault (infeasible, error) come back as a response with
         ``ok=False`` instead — the caller's retry policy differs.
         """
+        with span("service.submit") as sp:
+            response = self._submit(request, deadline=deadline)
+            sp.set_tag("cached", response.cached)
+            sp.set_tag("status", response.status)
+        return response
+
+    def _submit(
+        self, request: SolveRequest, *, deadline: float | None
+    ) -> ServiceResponse:
         start = time.perf_counter()
         fingerprint = request.fingerprint()
         cached = self.cache.get(fingerprint)
@@ -83,7 +93,7 @@ class AllocationService:
         if ok:
             self.admit(request, outcome)
         elif outcome.status == Status.TIME_LIMIT.value:
-            self.metrics.timeouts += 1
+            self.metrics.record_timeout()
             raise ServiceTimeoutError(
                 fingerprint=fingerprint,
                 deadline=deadline if deadline is not None else request.options.time_limit,

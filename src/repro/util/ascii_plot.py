@@ -15,6 +15,23 @@ from collections.abc import Mapping, Sequence
 _MARKERS = "ox+*#@%&"
 
 
+def ascii_bar(fraction: float, *, width: int = 32, fill: str = "#") -> str:
+    """A horizontal bar filling ``fraction`` of ``width`` characters.
+
+    The shared primitive behind the benchmark reports' bar rows and the
+    observability layer's flamegraph render (:mod:`repro.obs.export`).
+    Fractions are clamped to [0, 1]; any nonzero fraction draws at least
+    one fill character so short spans stay visible.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    frac = min(1.0, max(0.0, float(fraction)))
+    n = int(round(frac * width))
+    if frac > 0.0 and n == 0:
+        n = 1
+    return fill * n
+
+
 def _transform(values: Sequence[float], log: bool) -> list[float]:
     if not log:
         return [float(v) for v in values]

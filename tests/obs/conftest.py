@@ -1,0 +1,22 @@
+"""Shared fixtures: a clean process-wide tracer around every obs test."""
+
+import pytest
+
+from repro.obs.trace import get_tracer
+
+
+@pytest.fixture
+def tracer():
+    """The singleton tracer, enabled and empty; disabled again afterwards.
+
+    The tracer is process-wide state, so tests must not leak an enabled
+    tracer (or stale spans) into the rest of the suite.
+    """
+    t = get_tracer()
+    t.reset()
+    t.enable()
+    try:
+        yield t
+    finally:
+        t.disable()
+        t.reset()

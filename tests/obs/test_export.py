@@ -1,0 +1,108 @@
+"""Tests for the exporters: JSONL traces, Prometheus text, ASCII renderings."""
+
+from repro.obs.export import (
+    parse_prometheus,
+    parse_trace_jsonl,
+    prometheus_exposition,
+    registry_samples,
+    render_flamegraph,
+    render_timeline,
+    trace_to_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span, trace_event
+
+
+def _populated_registry() -> MetricsRegistry:
+    r = MetricsRegistry()
+    r.counter("solve_total", "solves by tier").inc(3, tier="oa")
+    r.counter("solve_total").inc(1, tier="nlpbb")
+    r.gauge("cache_size", "entries").set(17)
+    h = r.histogram("wall_seconds", "per-solve wall", buckets=(0.1, 1.0))
+    h.observe(0.05, status="optimal")
+    h.observe(2.0, status="optimal")
+    return r
+
+
+def test_prometheus_round_trip():
+    r = _populated_registry()
+    text = prometheus_exposition(r)
+    assert "# TYPE solve_total counter" in text
+    assert "# HELP solve_total solves by tier" in text
+    assert parse_prometheus(text) == registry_samples(r)
+
+
+def test_prometheus_escapes_label_values():
+    r = MetricsRegistry()
+    r.counter("errs_total").inc(1, reason='bad "input"\nline\\two')
+    text = prometheus_exposition(r)
+    assert parse_prometheus(text) == registry_samples(r)
+
+
+def test_empty_registry_exposes_empty_text():
+    assert prometheus_exposition(MetricsRegistry()) == ""
+    assert parse_prometheus("") == {}
+
+
+def test_trace_jsonl_round_trip(tracer):
+    with span("root", run=1):
+        with span("stage-a"):
+            trace_event("tick", i=7)
+        with span("stage-b"):
+            pass
+    records = parse_trace_jsonl(trace_to_jsonl(tracer))
+    assert [r["path"] for r in records] == [
+        "root",
+        "root/stage-a",
+        "root/stage-b",
+    ]
+    assert records[0]["depth"] == 0 and records[1]["depth"] == 1
+    assert records[0]["tags"] == {"run": 1}
+    assert records[1]["events"][0]["name"] == "tick"
+    assert records[1]["events"][0]["i"] == 7
+    assert all(r["duration"] >= 0.0 for r in records)
+
+
+def test_trace_jsonl_empty_trace(tracer):
+    assert trace_to_jsonl(tracer) == ""
+    assert parse_trace_jsonl("") == []
+
+
+def test_write_jsonl_counts_lines(tracer, tmp_path):
+    with span("a"):
+        with span("b"):
+            pass
+    path = tmp_path / "trace.jsonl"
+    assert tracer.write_jsonl(str(path)) == 2
+    assert len(parse_trace_jsonl(path.read_text())) == 2
+
+
+def test_flamegraph_renders_every_span(tracer):
+    with span("pipeline"):
+        with span("gather"):
+            trace_event("retry", nodes=32)
+        with span("solve"):
+            pass
+    art = render_flamegraph(tracer)
+    for name in ("pipeline", "gather", "solve"):
+        assert name in art
+    assert "ms" in art
+    assert "+1ev" in art  # the gather retry event is flagged
+    # Children are indented under their parent.
+    lines = art.splitlines()
+    assert lines[0].startswith("pipeline")
+    assert lines[1].startswith("  gather")
+
+
+def test_timeline_renders_segments(tracer):
+    with span("outer"):
+        with span("inner"):
+            pass
+    art = render_timeline(tracer)
+    assert "outer" in art and "inner" in art
+    assert "[" in art and "]" in art
+
+
+def test_renderings_handle_empty_trace(tracer):
+    assert render_flamegraph(tracer) == "(empty trace)"
+    assert render_timeline(tracer) == "(empty trace)"

@@ -1,0 +1,88 @@
+"""Tests for the logging facade: levels, verbosity mapping, stream routing."""
+
+import io
+
+import pytest
+
+from repro.obs.logging import (
+    DEBUG,
+    ERROR,
+    INFO,
+    configure_logging,
+    get_logger,
+    set_verbosity,
+)
+
+
+@pytest.fixture
+def captured():
+    """Route facade output into a StringIO; restore defaults afterwards."""
+    stream = io.StringIO()
+    configure_logging(level=INFO, stream=stream)
+    try:
+        yield stream
+    finally:
+        # Reset to the defaults the CLI expects (stderr at emit time).
+        import repro.obs.logging as mod
+
+        mod._STATE.level = INFO
+        mod._STATE.stream = None
+
+
+def test_line_format(captured):
+    get_logger("cli").info("planned campaign", counts=3, layout="hybrid")
+    assert captured.getvalue() == (
+        "[info] cli: planned campaign counts=3 layout=hybrid\n"
+    )
+
+
+def test_level_gate(captured):
+    log = get_logger("gate")
+    log.debug("hidden")
+    log.info("shown")
+    out = captured.getvalue()
+    assert "hidden" not in out
+    assert "shown" in out
+    configure_logging(level=ERROR)
+    log.warning("also hidden")
+    log.error("still shown")
+    out = captured.getvalue()
+    assert "also hidden" not in out
+    assert "still shown" in out
+
+
+def test_level_accepts_names(captured):
+    configure_logging(level="debug")
+    get_logger("n").debug("now visible")
+    assert "now visible" in captured.getvalue()
+    with pytest.raises(ValueError):
+        configure_logging(level="loud")
+
+
+def test_set_verbosity_mapping(captured):
+    import repro.obs.logging as mod
+
+    set_verbosity(0, False)
+    assert mod._STATE.level == INFO
+    set_verbosity(1, False)
+    assert mod._STATE.level == DEBUG
+    set_verbosity(2, True)  # quiet wins
+    assert mod._STATE.level == ERROR
+
+
+def test_get_logger_is_cached():
+    assert get_logger("same") is get_logger("same")
+
+
+def test_is_enabled_for(captured):
+    configure_logging(level=INFO)
+    log = get_logger("check")
+    assert log.isEnabledFor(INFO)
+    assert not log.isEnabledFor(DEBUG)
+
+
+def test_default_stream_is_stderr(capsys):
+    get_logger("stderr-check").info("to stderr")
+    out = capsys.readouterr()
+    assert out.out == ""
+    assert "[info] stderr-check: to stderr" in out.err

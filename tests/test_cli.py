@@ -93,8 +93,9 @@ def test_optimize_save_and_load_benchmarks(tmp_path, capsys):
         "--benchmarks", "16", "32", "64", "256",
     ]
     assert main(args + ["--save-benchmarks", bench_file]) == 0
-    first = capsys.readouterr().out
-    assert "benchmark campaign saved" in first
+    first = capsys.readouterr()
+    assert "benchmark campaign saved" in first.err
+    assert "TOTAL" in first.out
     # Second run reuses the campaign: gather skipped, same fits, same table.
     assert main(args + ["--load-benchmarks", bench_file]) == 0
     second = capsys.readouterr().out
@@ -107,9 +108,9 @@ def test_optimize_auto_campaign(capsys):
          "--auto-campaign"]
     )
     assert code == 0
-    out = capsys.readouterr().out
-    assert "planned gather campaign:" in out
-    assert "TOTAL" in out
+    captured = capsys.readouterr()
+    assert "planned gather campaign:" in captured.err
+    assert "TOTAL" in captured.out
 
 
 def test_export_ampl_to_stdout(capsys):
@@ -144,10 +145,11 @@ def test_optimize_with_fault_flags(capsys):
         ]
     )
     assert code == 0
-    out = capsys.readouterr().out
+    captured = capsys.readouterr()
+    out = captured.out
     # The plan is echoed up front so the run is reproducible from the log.
-    assert "fault plan: FaultPlan(seed=0, fail=10%, straggler=5%" in out
-    assert "crash=ocn@50%" in out
+    assert "fault plan: FaultPlan(seed=0, fail=10%, straggler=5%" in captured.err
+    assert "crash=ocn@50%" in captured.err
     assert "TOTAL" in out  # the pipeline still completed
     assert "recovery: lost" in out and "'ocn'" in out
     assert "solver: oa" in out or "solver: nlpbb" in out or "solver: greedy" in out
@@ -167,8 +169,9 @@ def test_fmo_with_crash_group(capsys):
          "--crash-group", "1"]
     )
     assert code == 0
-    out = capsys.readouterr().out
-    assert "fault plan:" in out
+    captured = capsys.readouterr()
+    out = captured.out
+    assert "fault plan:" in captured.err
     assert "group 1 lost 50% into the run" in out
     # Strategy comparison table lists all three recovery strategies.
     for strategy in ("replan", "dynamic", "none"):
@@ -190,8 +193,7 @@ def test_fmo_fault_seed_changes_plan_echo(capsys):
         ["--seed", "1", "fmo", "--fragments", "6", "--nodes", "64",
          "--fail-rate", "0.2", "--fault-seed", "42"]
     ) == 0
-    out = capsys.readouterr().out
-    assert "fault plan: FaultPlan(seed=42, fail=20%" in out
+    assert "fault plan: FaultPlan(seed=42, fail=20%" in capsys.readouterr().err
 
 
 def test_fault_rate_out_of_range_is_a_clean_error(capsys):
