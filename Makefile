@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench faults-bench service-bench obs-bench examples reports clean
+.PHONY: install test bench faults-bench service-bench obs-bench chaos examples reports clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -26,6 +26,13 @@ faults-bench:
 service-bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_service.py --benchmark-only
 
+# Seeded chaos suite plus a 250-request soak under injected faults; fails
+# if any request is lost. Writes benchmarks/out/chaos_metrics.json.
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/service/test_chaos.py tests/faults/test_chaos_plan.py -q
+	PYTHONPATH=src $(PYTHON) -m repro chaos --requests 250 --deadline 10 \
+		--chaos-seed 20260808 --metrics-out benchmarks/out/chaos_metrics.json
+
 # Tracing overhead (off / on / on + export); writes
 # benchmarks/out/obs_overhead.txt.
 obs-bench:
@@ -44,6 +51,7 @@ examples:
 	PYTHONPATH=src $(PYTHON) examples/cesm_high_resolution.py
 	PYTHONPATH=src $(PYTHON) examples/fault_injection.py
 	PYTHONPATH=src $(PYTHON) examples/allocation_service.py
+	PYTHONPATH=src $(PYTHON) examples/resilient_service.py
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache

@@ -101,8 +101,11 @@ def run_service_benchmark(n_draws: int = N_DRAWS) -> dict:
         "service_time": service_time,
         "fresh_time": fresh_time,
         "speedup": fresh_time / service_time,
+        "throughput_rps": n_draws / service_time,
         "hit_rate": snap["hit_rate"],
         "warm_start_speedup": snap["warm_start_speedup"],
+        "mean_latency": snap["latency"]["mean"],
+        "p95_latency": snap["latency"]["p95"],
         "replay_mismatches": mismatches,
         "all_ok": all(r.ok for r in responses)
         and all(f.allocation for f in fresh),
@@ -123,9 +126,10 @@ def render(result: dict) -> str:
     return "\n".join(lines)
 
 
-def test_s1_service_throughput(benchmark, save_report):
+def test_s1_service_throughput(benchmark, save_report, save_json):
     result = benchmark.pedantic(run_service_benchmark, rounds=1, iterations=1)
     save_report("service_throughput", render(result))
+    save_json("service", result)
     assert result["all_ok"]
     # The headline service claim: >= 5x throughput on the Zipf mix.
     assert result["speedup"] >= 5.0, f"only {result['speedup']:.1f}x"

@@ -5,7 +5,11 @@ regressions in the solver stack (which every experiment depends on) show up
 as benchmark deltas rather than mysteriously slow tables.
 """
 
+import json
+import pathlib
+
 import numpy as np
+import pytest
 
 from repro.cesm.grids import one_degree
 from repro.cesm.layouts import Layout, formulate_layout
@@ -22,6 +26,39 @@ _MODELS = {
     "atm": PerformanceModel(a=27380.0, d=43.0),
     "ocn": PerformanceModel(a=7550.0, d=45.0),
 }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _micro_baseline(request):
+    """Persist this module's timings as benchmarks/out/BENCH_solver_micro.json.
+
+    Reads pytest-benchmark's session store defensively: when the plugin is
+    absent or disabled the fixture silently does nothing, so the module
+    still runs as a plain test file.
+    """
+    yield
+    session = getattr(request.config, "_benchmarksession", None)
+    if session is None:
+        return
+    out = {}
+    for bench in getattr(session, "benchmarks", []):
+        if "bench_solver_micro" not in str(getattr(bench, "fullname", "")):
+            continue
+        stats = getattr(bench, "stats", None)
+        stats = getattr(stats, "stats", stats)  # unwrap Metadata -> Stats
+        record = {}
+        for key in ("min", "max", "mean", "stddev", "rounds"):
+            value = getattr(stats, key, None)
+            if value is not None:
+                record[key] = float(value)
+        if record:
+            out[getattr(bench, "name", "bench")] = record
+    if not out:
+        return
+    path = pathlib.Path(__file__).parent / "out" / "BENCH_solver_micro.json"
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(f"[baseline saved to {path}]")
 
 
 def _random_lp(n=60, m=40, seed=0):

@@ -7,6 +7,7 @@ output is both printed (visible with ``pytest -s``) and persisted under
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -28,5 +29,23 @@ def save_report(report_dir):
         path = report_dir / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+@pytest.fixture
+def save_json(report_dir):
+    """Persist a machine-readable baseline as benchmarks/out/BENCH_<name>.json.
+
+    Counterpart of ``save_report``: the text file is for humans, the JSON
+    file is the comparison baseline CI and perf-tracking scripts diff
+    against run-to-run.
+    """
+
+    def _save(name: str, payload: dict) -> pathlib.Path:
+        path = report_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"[baseline saved to {path}]")
+        return path
 
     return _save

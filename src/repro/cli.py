@@ -125,6 +125,170 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("resilience (retry / breaker / degradation)")
+    group.add_argument(
+        "--resilient",
+        action="store_true",
+        help="enable the resilient request path (retries, circuit breaker, "
+        "degradation ladder); implied by any --chaos-* rate",
+    )
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="solve attempts per request before degrading (resilient mode)",
+    )
+    group.add_argument(
+        "--hedge-after",
+        type=float,
+        default=None,
+        help="seconds before a straggler dispatch gets a hedged duplicate",
+    )
+    group.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="consecutive system failures that open a family's breaker",
+    )
+    group.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=30.0,
+        help="seconds an open breaker waits before half-open probes",
+    )
+    group.add_argument(
+        "--max-stale",
+        type=float,
+        default=None,
+        help="oldest cache age (s) the stale rung may serve (default: any)",
+    )
+    group.add_argument(
+        "--no-stale",
+        action="store_true",
+        help="disable the stale-cache degradation rung",
+    )
+    group.add_argument(
+        "--no-greedy",
+        action="store_true",
+        help="disable the greedy-approximate degradation rung",
+    )
+    group.add_argument(
+        "--restart-budget",
+        type=int,
+        default=3,
+        help="worker replacements the supervised pool may spend per batch",
+    )
+    group.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=30.0,
+        help="seconds before an unresponsive worker dispatch counts as hung",
+    )
+
+
+def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("chaos injection (repro.faults.chaos)")
+    group.add_argument(
+        "--chaos-crash-rate",
+        type=float,
+        default=0.0,
+        help="probability a solve dies as a worker crash",
+    )
+    group.add_argument(
+        "--chaos-hang-rate",
+        type=float,
+        default=0.0,
+        help="probability a solve hangs until the harvest timeout",
+    )
+    group.add_argument(
+        "--chaos-slow-rate",
+        type=float,
+        default=0.0,
+        help="probability a solve is straggler-delayed",
+    )
+    group.add_argument(
+        "--chaos-corrupt-rate",
+        type=float,
+        default=0.0,
+        help="probability a solve returns a corrupted result",
+    )
+    group.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed of the deterministic chaos plan (same seed, same faults)",
+    )
+    group.add_argument(
+        "--chaos-immune-after",
+        type=int,
+        default=2,
+        help="attempt index from which a request runs fault-free "
+        "(guarantees retries eventually land); negative = never immune",
+    )
+    group.add_argument(
+        "--chaos-hang-seconds",
+        type=float,
+        default=2.0,
+        help="how long an injected hang sleeps in a pool worker",
+    )
+    group.add_argument(
+        "--chaos-slow-seconds",
+        type=float,
+        default=0.01,
+        help="how long an injected straggler delay sleeps",
+    )
+
+
+def _chaos_from_args(args: argparse.Namespace):
+    """Build a ChaosPlan from CLI flags, or None when no rate was asked for."""
+    rates = (
+        args.chaos_crash_rate,
+        args.chaos_hang_rate,
+        args.chaos_slow_rate,
+        args.chaos_corrupt_rate,
+    )
+    if not any(rates):
+        return None
+    from repro.faults.chaos import ChaosPlan
+
+    return ChaosPlan(
+        seed=args.chaos_seed,
+        crash_rate=args.chaos_crash_rate,
+        hang_rate=args.chaos_hang_rate,
+        slow_rate=args.chaos_slow_rate,
+        corrupt_rate=args.chaos_corrupt_rate,
+        immune_after=(
+            None if args.chaos_immune_after < 0 else args.chaos_immune_after
+        ),
+        hang_seconds=args.chaos_hang_seconds,
+        slow_seconds=args.chaos_slow_seconds,
+    )
+
+
+def _resilience_from_args(args: argparse.Namespace, *, forced: bool = False):
+    chaos = _chaos_from_args(args)
+    if not (forced or args.resilient or chaos is not None):
+        return None, None
+    from repro.service import BreakerPolicy, ResiliencePolicy, RetryPolicy
+
+    policy = ResiliencePolicy(
+        retry=RetryPolicy(
+            max_attempts=max(1, args.retries), hedge_after=args.hedge_after
+        ),
+        breaker=BreakerPolicy(
+            failure_threshold=args.breaker_threshold,
+            reset_timeout=args.breaker_reset,
+        ),
+        max_stale=args.max_stale,
+        allow_stale=not args.no_stale,
+        allow_greedy=not args.no_greedy,
+        restart_budget=args.restart_budget,
+        hang_timeout=args.hang_timeout,
+    )
+    return policy, chaos
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hslb",
@@ -259,6 +423,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="allocation service: JSONL requests in, JSONL answers out",
     )
     _add_service_args(srv)
+    _add_resilience_args(srv)
+    _add_chaos_args(srv)
     srv.add_argument(
         "--trace-out",
         metavar="FILE",
@@ -288,6 +454,46 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append a final {'metrics': ...} JSONL line to stdout",
     )
+    _add_resilience_args(bat)
+    _add_chaos_args(bat)
+
+    cha = sub.add_parser(
+        "chaos",
+        help="soak the resilient service under injected faults and report "
+        "per-request provenance",
+    )
+    cha.add_argument(
+        "--requests",
+        type=int,
+        default=200,
+        help="how many requests the deterministic soak mix contains",
+    )
+    cha.add_argument(
+        "--families",
+        type=int,
+        default=3,
+        help="distinct request families (curve sets) in the mix",
+    )
+    cha.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="supervised-pool size (0 = deterministic in-process chaos)",
+    )
+    cha.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON report instead of tables",
+    )
+    cha.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the final metrics snapshot as JSON (CI artifact)",
+    )
+    _add_service_args(cha)
+    _add_resilience_args(cha)
+    _add_chaos_args(cha)
 
     exp = sub.add_parser("experiment", help="run a registered paper experiment")
     exp.add_argument("name", help="experiment id (see `hslb list`)")
@@ -599,20 +805,31 @@ def _cmd_fmo(args: argparse.Namespace) -> int:
     return 0
 
 
-def _service_from_args(args: argparse.Namespace):
+def _service_from_args(
+    args: argparse.Namespace, *, forced_resilience: bool = False
+):
     from repro.service import AllocationService
 
+    resilience, chaos = _resilience_from_args(args, forced=forced_resilience)
+    if chaos is not None:
+        _log.info(f"chaos plan: {chaos.describe()}")
     return AllocationService(
         cache_capacity=args.cache_capacity,
         ttl=args.ttl,
         warm_start=not args.no_warm_start,
+        resilience=resilience,
+        chaos=chaos,
     )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import serve_loop
 
-    service = _service_from_args(args)
+    try:
+        service = _service_from_args(args)
+    except ValueError as exc:
+        _log.error(str(exc))
+        return 2
     with _tracing(args.trace_out):
         served = serve_loop(
             service, sys.stdin, sys.stdout, deadline=args.deadline
@@ -646,7 +863,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     except ServiceRequestError as exc:
         _log.error(str(exc))
         return 2
-    service = _service_from_args(args)
+    try:
+        service = _service_from_args(args)
+    except ValueError as exc:
+        _log.error(str(exc))
+        return 2
     executor = BatchExecutor(
         service,
         max_workers=args.workers,
@@ -664,6 +885,151 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(json.dumps({"metrics": service.metrics.snapshot()}))
     print(service.metrics.render(), file=sys.stderr)
     return 0 if all(r.ok for r in responses) else 1
+
+
+def _chaos_mix(count: int, families: int) -> list:
+    """A deterministic request mix: ``families`` curve sets x a budget cycle.
+
+    Repeats are intentional — they exercise the cache and dedup paths while
+    the distinct (family, budget) pairs exercise solves and warm starts.
+    """
+    from repro.perf.model import PerformanceModel
+    from repro.service import ComponentSpec, SolveRequest
+
+    budgets = (32, 48, 64, 96)
+    requests = []
+    for i in range(count):
+        scale = 1.0 + 0.25 * (i % families)
+        components = {
+            "atm": ComponentSpec(
+                model=PerformanceModel(a=1200.0 * scale, b=0.5, c=1.1, d=2.0)
+            ),
+            "ocn": ComponentSpec(
+                model=PerformanceModel(a=800.0 * scale, b=0.3, c=1.2, d=1.0)
+            ),
+            "ice": ComponentSpec(
+                model=PerformanceModel(a=300.0 * scale, b=0.2, c=1.0, d=0.5)
+            ),
+        }
+        requests.append(
+            SolveRequest(
+                components=components,
+                total_nodes=budgets[(i // families) % len(budgets)],
+            )
+        )
+    return requests
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    from collections import Counter
+
+    from repro.service import (
+        BatchExecutor,
+        ServiceRejectedError,
+        ServiceResponse,
+        ServiceTimeoutError,
+    )
+
+    if args.requests < 1:
+        _log.error("--requests must be >= 1")
+        return 2
+    if args.families < 1:
+        _log.error("--families must be >= 1")
+        return 2
+    # A chaos soak with nothing injected proves nothing: default to a
+    # meaningful fault mix unless the caller picked their own rates.
+    if not (
+        args.chaos_crash_rate
+        or args.chaos_hang_rate
+        or args.chaos_slow_rate
+        or args.chaos_corrupt_rate
+    ):
+        args.chaos_crash_rate = 0.15
+        args.chaos_hang_rate = 0.05
+        args.chaos_slow_rate = 0.10
+        args.chaos_corrupt_rate = 0.05
+    try:
+        service = _service_from_args(args, forced_resilience=True)
+    except ValueError as exc:
+        _log.error(str(exc))
+        return 2
+    requests = _chaos_mix(args.requests, args.families)
+    responses: list[ServiceResponse] = []
+    if args.workers:
+        executor = BatchExecutor(
+            service,
+            max_workers=args.workers,
+            deadline=args.deadline,
+            max_pending=max(args.requests, 1024),
+        )
+        responses = executor.run(requests)
+    else:
+        for request in requests:
+            try:
+                responses.append(
+                    service.submit(request, deadline=args.deadline)
+                )
+            except ServiceRejectedError as exc:
+                responses.append(
+                    ServiceResponse.error(
+                        fingerprint=exc.fingerprint,
+                        status="rejected",
+                        message=str(exc),
+                        source="rejected",
+                    )
+                )
+            except ServiceTimeoutError as exc:
+                responses.append(
+                    ServiceResponse.error(
+                        fingerprint=exc.fingerprint,
+                        status="time_limit",
+                        message=str(exc),
+                    )
+                )
+    sources = Counter(r.source for r in responses)
+    snapshot = service.metrics.snapshot()
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            json.dump(snapshot, fh, indent=2)
+        _log.info(f"metrics snapshot written to {args.metrics_out}")
+    answered = len(responses)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "requests": len(requests),
+                    "answered": answered,
+                    "sources": dict(sources),
+                    "responses": [r.to_dict() for r in responses],
+                    "metrics": snapshot,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for response in responses:
+            note = ""
+            if response.source == "stale":
+                note = f" (age {response.staleness:.1f}s)"
+            elif not response.ok:
+                note = f" ({response.message})"
+            print(
+                f"{response.fingerprint[:12]}  {response.status:<11}"
+                f"  source={response.source}{note}"
+            )
+        print(service.metrics.render(), file=sys.stderr)
+    if answered != len(requests):
+        _log.error(
+            f"lost requests: {len(requests) - answered} of {len(requests)} "
+            "got no response"
+        )
+        return 1
+    _log.info(
+        f"all {answered} request(s) answered; "
+        f"sources: {dict(sorted(sources.items()))}"
+    )
+    return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -764,6 +1130,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "export":

@@ -11,6 +11,7 @@ Everything is seeded and deterministic: a :class:`FaultPlan` with the same
 seed injects byte-identical faults, so every degraded run is reproducible.
 """
 
+from repro.faults.chaos import ChaosPlan, chaos_pool_solve, chaotic_solve
 from repro.faults.plan import (
     BenchmarkFault,
     BenchmarkRunError,
@@ -22,7 +23,10 @@ from repro.faults.plan import (
 __all__ = [
     "BenchmarkFault",
     "BenchmarkRunError",
+    "ChaosPlan",
     "FaultInjectionError",
     "FaultPlan",
     "NodeCrashError",
+    "chaos_pool_solve",
+    "chaotic_solve",
 ]

@@ -33,6 +33,20 @@ def ensure_registered() -> None:
     REGISTRY.counter("hslb_gather_dropped_total", "gather points dropped")
     REGISTRY.counter("hslb_execution_recoveries_total", "mid-run crash recoveries")
     REGISTRY.counter("faults_injected_total", "injected faults by kind")
+    REGISTRY.counter("service_retries_total", "service solve re-dispatches")
+    REGISTRY.counter("service_hedges_total", "hedged duplicate dispatches")
+    REGISTRY.counter("service_worker_failures_total", "worker crashes/hangs by kind")
+    REGISTRY.counter("service_worker_restarts_total", "supervised worker replacements")
+    REGISTRY.counter("service_corruptions_total", "corrupt results caught by validation")
+    REGISTRY.counter("service_degraded_total", "degraded answers by ladder rung")
+    REGISTRY.counter("service_rejections_total", "typed request rejections")
+    REGISTRY.counter("service_breaker_transitions_total", "breaker state changes")
+    REGISTRY.counter("service_breaker_blocks_total", "requests blocked by an open breaker")
+    REGISTRY.counter("service_cache_hits_total", "solution-cache hits")
+    REGISTRY.counter("service_cache_misses_total", "solution-cache misses")
+    REGISTRY.counter("service_cache_evictions_total", "capacity evictions of live entries")
+    REGISTRY.counter("service_cache_expirations_total", "TTL expirations booked")
+    REGISTRY.counter("service_cache_inserts_total", "solution-cache inserts")
 
 
 def record_solve(algorithm: str, stats, status: str) -> None:

@@ -9,47 +9,78 @@ neighboring solves warm-start each other.
 
 Layers (each its own module, composable in isolation):
 
-* :mod:`~repro.service.request`   — canonicalization + fingerprinting;
-* :mod:`~repro.service.cache`     — LRU/TTL solution cache with accounting;
-* :mod:`~repro.service.solver`    — the pure fingerprint-seeded solve;
-* :mod:`~repro.service.service`   — cache + warm-start pool + metrics;
-* :mod:`~repro.service.batch`     — dedup, donor ordering, process fan-out,
-  deadlines, admission backpressure;
-* :mod:`~repro.service.server`    — the ``repro serve`` JSONL loop;
-* :mod:`~repro.service.metrics`   — counters/histograms and their snapshot;
-* :mod:`~repro.service.errors`    — typed failures (timeout, overload).
+* :mod:`~repro.service.request`    — canonicalization + fingerprinting;
+* :mod:`~repro.service.cache`      — LRU/TTL solution cache with accounting
+  (expired entries retained for bounded-staleness serving);
+* :mod:`~repro.service.solver`     — the pure fingerprint-seeded solve, its
+  corruption validator, and the greedy approximate fallback;
+* :mod:`~repro.service.service`    — cache + warm-start pool + metrics +
+  the degradation ladder (exact → stale → greedy → typed rejection);
+* :mod:`~repro.service.supervisor` — crash-isolating worker pool with
+  per-worker health and bounded restarts;
+* :mod:`~repro.service.retry`      — deterministic capped backoff + hedging;
+* :mod:`~repro.service.breaker`    — per-family circuit breaker;
+* :mod:`~repro.service.batch`      — dedup, donor ordering, supervised
+  process fan-out, deadlines, admission backpressure;
+* :mod:`~repro.service.server`     — the ``repro serve`` JSONL loop;
+* :mod:`~repro.service.metrics`    — counters/histograms and their snapshot;
+* :mod:`~repro.service.errors`     — typed failures (timeout, overload,
+  rejection, worker crash/hang, restart-budget exhaustion).
 """
 
 from repro.service.batch import BatchExecutor
+from repro.service.breaker import BreakerPolicy, CircuitBreaker
 from repro.service.cache import CacheStats, SolutionCache
 from repro.service.errors import (
+    RestartBudgetError,
     ServiceError,
     ServiceOverloadError,
+    ServiceRejectedError,
     ServiceRequestError,
     ServiceTimeoutError,
+    WorkerCrashError,
+    WorkerHangError,
 )
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.request import ComponentSpec, SolveRequest
 from repro.service.response import ServiceResponse
+from repro.service.retry import RetryPolicy
 from repro.service.server import serve_loop
-from repro.service.service import AllocationService
-from repro.service.solver import SolveOutcome, solve_request
+from repro.service.service import AllocationService, ResiliencePolicy
+from repro.service.solver import SolveOutcome, greedy_outcome, solve_request
+from repro.service.supervisor import (
+    InlineExecutor,
+    SupervisedWorkerPool,
+    WorkerHealth,
+)
 
 __all__ = [
     "AllocationService",
     "BatchExecutor",
+    "BreakerPolicy",
     "CacheStats",
+    "CircuitBreaker",
     "ComponentSpec",
+    "InlineExecutor",
     "LatencyHistogram",
+    "ResiliencePolicy",
+    "RestartBudgetError",
+    "RetryPolicy",
     "ServiceError",
     "ServiceMetrics",
     "ServiceOverloadError",
+    "ServiceRejectedError",
     "ServiceRequestError",
     "ServiceResponse",
     "ServiceTimeoutError",
     "SolutionCache",
     "SolveOutcome",
     "SolveRequest",
+    "SupervisedWorkerPool",
+    "WorkerCrashError",
+    "WorkerHangError",
+    "WorkerHealth",
+    "greedy_outcome",
     "serve_loop",
     "solve_request",
 ]

@@ -1,34 +1,51 @@
-"""Batched solves: dedup, donor-first ordering, fan-out, backpressure.
+"""Batched solves: dedup, donor ordering, supervised fan-out, backpressure.
 
 A batch is answered in four moves:
 
 1. **admission** — a batch larger than ``max_pending`` is refused outright
-   with :class:`ServiceOverloadError`; the caller backs off and retries
-   (classic queue backpressure, not silent truncation);
+   with :class:`ServiceOverloadError` carrying a ``retry_after`` hint; the
+   caller backs off and retries (classic queue backpressure, not silent
+   truncation);
 2. **dedup** — equal fingerprints collapse to one solve; duplicates are
    answered from cache afterwards;
 3. **donor ordering** — misses are grouped into warm-start families
    (identical but for node budget); each family with no cached member gets
    its smallest-budget request solved first, in-process, so every other
    member of the family fans out with an ``x0`` seed;
-4. **fan-out** — remaining misses run on a :class:`ProcessPoolExecutor`
-   (``max_workers > 0``) or serially in-process (``max_workers == 0``, the
-   deterministic mode tests use).  Each request carries a per-request
-   ``deadline`` that caps the solver's own wall budget, so a deadline ends
-   the tree search rather than orphaning a busy worker.
+4. **fan-out** — remaining misses run on a
+   :class:`~repro.service.supervisor.SupervisedWorkerPool` of single-process
+   executors (``max_workers > 0``) or serially in-process
+   (``max_workers == 0``, the deterministic mode tests use).
+
+The fan-out is **resilient** when the service carries a
+:class:`~repro.service.service.ResiliencePolicy`: a worker crash or hang is
+contained to its slot, booked against that worker's health, and the victim
+request is re-dispatched (idempotent — solves are fingerprint-seeded) with
+deterministic backoff between rounds; straggler dispatches optionally get a
+hedged duplicate, first answer wins; requests that exhaust their retries
+walk the service's degradation ladder instead of failing the batch.  A
+request that cannot even be rejected cleanly does not exist: every slot of
+the input gets a response or a typed error envelope.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 
 from repro.minlp.solution import Status
-from repro.service.errors import ServiceOverloadError, ServiceTimeoutError
+from repro.service.errors import (
+    RestartBudgetError,
+    ServiceOverloadError,
+    ServiceRejectedError,
+    ServiceTimeoutError,
+    WorkerCrashError,
+    WorkerHangError,
+)
 from repro.service.request import SolveRequest
 from repro.service.response import ServiceResponse
 from repro.service.service import AllocationService
-from repro.service.solver import SolveOutcome, solve_request
+from repro.service.solver import SolveOutcome, solve_request, validate_outcome
+from repro.service.supervisor import Dispatch, SupervisedWorkerPool, wait_any
 
 
 def _pool_solve(payload: dict, x0: dict | None, deadline: float | None) -> dict:
@@ -62,15 +79,18 @@ class BatchExecutor:
     def run(self, requests: Sequence[SolveRequest]) -> list[ServiceResponse]:
         """Answer every request, preserving input order.
 
-        Failed requests (deadline, infeasible model) come back as error
-        responses in their slot — one bad request never poisons the batch.
+        Failed requests (deadline, infeasible model, exhausted ladder) come
+        back as error responses in their slot — one bad request never
+        poisons the batch.
         """
         metrics = self.service.metrics
         if len(requests) > self.max_pending:
             metrics.record_batch(len(requests))
             metrics.record_overload()
             raise ServiceOverloadError(
-                pending=len(requests), capacity=self.max_pending
+                pending=len(requests),
+                capacity=self.max_pending,
+                retry_after=self._retry_after(len(requests)),
             )
 
         fingerprints = [r.fingerprint() for r in requests]
@@ -99,9 +119,9 @@ class BatchExecutor:
             fresh = answered.pop(fp, None)
             if fresh is not None:
                 out.append(fresh)
-                # Duplicates of a failed solve reuse the error envelope
-                # rather than re-solving a request that just died.
-                if not fresh.ok:
+                # Duplicates of a failed or degraded solve reuse the first
+                # envelope rather than re-running a request that just died.
+                if not fresh.ok or fresh.degraded:
                     answered[fp] = fresh
             elif fp in self.service.cache:
                 out.append(self.service.submit(req))
@@ -110,6 +130,19 @@ class BatchExecutor:
         return out
 
     # -- internals ---------------------------------------------------------
+
+    def _retry_after(self, pending: int) -> float:
+        """Back-off hint for shed work: the time to drain the excess.
+
+        Estimated from the observed mean request latency (falling back to
+        the per-request deadline, then to a conservative constant when the
+        service has answered nothing yet).
+        """
+        mean = self.service.metrics.request_latency.mean
+        if mean <= 0:
+            mean = self.deadline if self.deadline is not None else 0.1
+        excess = max(1, pending - self.max_pending)
+        return excess * mean
 
     def _solve_donors(
         self,
@@ -136,47 +169,239 @@ class BatchExecutor:
             return ServiceResponse.error(
                 fingerprint=fp, status=Status.TIME_LIMIT.value, message=str(exc)
             )
+        except ServiceRejectedError as exc:
+            return ServiceResponse.error(
+                fingerprint=fp,
+                status="rejected",
+                message=str(exc),
+                source="rejected",
+            )
+        except (WorkerCrashError, WorkerHangError) as exc:
+            # Chaos without a resilience policy: surface the worker death as
+            # a typed envelope rather than poisoning the batch.
+            return ServiceResponse.error(
+                fingerprint=fp, status=Status.ERROR.value, message=str(exc)
+            )
+
+    # -- supervised fan-out -------------------------------------------------
 
     def _fan_out(
         self,
         remaining: dict[str, SolveRequest],
         answered: dict[str, ServiceResponse],
     ) -> None:
-        metrics = self.service.metrics
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            futures = {}
-            for fp, req in remaining.items():
-                x0, donor = self.service._find_donor(req, fp)
-                fut = pool.submit(_pool_solve, req.to_dict(), x0, self.deadline)
-                futures[fp] = (fut, req, donor)
-            # The solver's own wall budget enforces the deadline; the grace
-            # below only covers process scheduling overhead.
-            grace = None if self.deadline is None else 2.0 * self.deadline + 5.0
-            for fp, (fut, req, donor) in futures.items():
-                try:
-                    outcome = SolveOutcome.from_dict(fut.result(timeout=grace))
-                except FutureTimeout:
-                    fut.cancel()
-                    metrics.record_timeout()
-                    answered[fp] = ServiceResponse.error(
-                        fingerprint=fp,
-                        status=Status.TIME_LIMIT.value,
-                        message=f"worker missed its {self.deadline:.3g}s deadline",
-                    )
+        service = self.service
+        policy = service.resilience
+        attempts = policy.retry.max_attempts if policy else 1
+        restart_budget = policy.restart_budget if policy else 3
+        pool = SupervisedWorkerPool(
+            self.max_workers,
+            restart_budget=restart_budget,
+            metrics=service.metrics,
+        )
+        # Per-fingerprint context: (request, x0, donor, last failure reason).
+        donors = {
+            fp: service._find_donor(req, fp) for fp, req in remaining.items()
+        }
+        pending = dict(remaining)
+        reasons: dict[str, str] = {}
+        try:
+            for attempt in range(attempts):
+                if not pending:
+                    break
+                if attempt and policy:
+                    service.sleeper(policy.retry.backoff("batch", attempt))
+                pending = self._fan_round(
+                    pool, pending, donors, answered, reasons, attempt
+                )
+        finally:
+            pool.shutdown()
+        # Retries exhausted (or unavailable): remaining requests walk the
+        # service's degradation ladder; its bottom is a typed envelope.
+        for fp, req in pending.items():
+            answered[fp] = self._degrade_safe(
+                fp, req, reasons.get(fp, "fan-out failed")
+            )
+
+    def _fan_round(
+        self,
+        pool: SupervisedWorkerPool,
+        pending: dict[str, SolveRequest],
+        donors: dict,
+        answered: dict[str, ServiceResponse],
+        reasons: dict[str, str],
+        attempt: int,
+    ) -> dict[str, SolveRequest]:
+        """Dispatch every pending request once; returns next round's misses."""
+        service = self.service
+        policy = service.resilience
+        metrics = service.metrics
+        chaos = service.chaos
+        failures: dict[str, SolveRequest] = {}
+        dispatches: dict[str, Dispatch] = {}
+        for fp, req in pending.items():
+            if service.breaker is not None and not service.breaker.allow(
+                req.family_key()
+            ):
+                metrics.record_breaker_block()
+                failures[fp] = req
+                reasons[fp] = (
+                    f"circuit breaker open for family {req.family_key()[:12]}"
+                )
+                continue
+            x0, _donor = donors[fp]
+            try:
+                dispatches[fp] = self._dispatch(pool, req, x0, chaos, attempt)
+            except (RestartBudgetError, WorkerCrashError) as exc:
+                failures[fp] = req
+                reasons[fp] = str(exc)
+        # The solver's own wall budget enforces the deadline; the grace
+        # below only covers process scheduling overhead — and turns a hung
+        # worker into a typed, retryable failure instead of a stuck batch.
+        if self.deadline is not None:
+            grace = 2.0 * self.deadline + 5.0
+            if policy:
+                grace = min(grace, self.deadline + policy.hang_timeout)
+        else:
+            grace = policy.hang_timeout if policy else None
+        for fp, dispatch in dispatches.items():
+            req = pending[fp]
+            try:
+                payload = self._harvest(pool, dispatch, grace, fp)
+                outcome = SolveOutcome.from_dict(payload)
+            except (WorkerCrashError, WorkerHangError, RestartBudgetError) as exc:
+                metrics.record_worker_failure(
+                    "hang" if isinstance(exc, WorkerHangError) else "crash"
+                )
+                failures[fp] = req
+                reasons[fp] = str(exc)
+                continue
+            if policy is not None:
+                corrupt = validate_outcome(req, outcome)
+                if corrupt is not None:
+                    metrics.record_corruption()
+                    failures[fp] = req
+                    reasons[fp] = f"corrupt result: {corrupt}"
                     continue
-                ok = outcome.status in (
-                    Status.OPTIMAL.value, Status.FEASIBLE.value
+            self._book_outcome(fp, req, outcome, donors[fp][1], answered, reasons)
+        # Count retries for requests that will ride another round.
+        if attempt + 1 < (policy.retry.max_attempts if policy else 1):
+            for _ in failures:
+                metrics.record_retry()
+        return failures
+
+    def _dispatch(
+        self,
+        pool: SupervisedWorkerPool,
+        req: SolveRequest,
+        x0: dict | None,
+        chaos,
+        attempt: int,
+    ) -> Dispatch:
+        if chaos is not None:
+            from repro.faults.chaos import chaos_pool_solve
+
+            return pool.submit(
+                chaos_pool_solve, req.to_dict(), x0, self.deadline,
+                chaos.to_dict(), attempt,
+            )
+        return pool.submit(_pool_solve, req.to_dict(), x0, self.deadline)
+
+    def _harvest(
+        self,
+        pool: SupervisedWorkerPool,
+        dispatch: Dispatch,
+        grace: float | None,
+        fp: str,
+    ) -> dict:
+        """Wait for one dispatch, hedging a straggler when policy allows."""
+        policy = self.service.resilience
+        hedge_after = policy.retry.hedge_after if policy else None
+        if (
+            hedge_after is None
+            or grace is None
+            or hedge_after >= grace
+            or pool.capacity < 2
+        ):
+            return pool.result(dispatch, timeout=grace)
+        done, _ = wait_any([dispatch.future], hedge_after)
+        if done:
+            return pool.result(dispatch, timeout=0)
+        # Straggler: issue a duplicate dispatch; first answer wins.
+        self.service.metrics.record_hedge()
+        try:
+            hedge = pool.submit(dispatch.fn, *dispatch.args)
+        except (RestartBudgetError, WorkerCrashError):
+            return pool.result(dispatch, timeout=max(0.0, grace - hedge_after))
+        done, _ = wait_any(
+            [dispatch.future, hedge.future], max(0.0, grace - hedge_after)
+        )
+        if dispatch.future.done():
+            pool.forget(hedge)
+            return pool.result(dispatch, timeout=0)
+        if hedge.future.done():
+            pool.forget(dispatch)
+            return pool.result(hedge, timeout=0)
+        # Both hung: reap the hedge's slot too, then surface the primary's
+        # hang (result() kills and replaces the worker).
+        pool.forget(hedge)
+        return pool.result(dispatch, timeout=0)
+
+    def _book_outcome(
+        self,
+        fp: str,
+        req: SolveRequest,
+        outcome: SolveOutcome,
+        donor: str | None,
+        answered: dict[str, ServiceResponse],
+        reasons: dict[str, str],
+    ) -> None:
+        service = self.service
+        metrics = service.metrics
+        ok = outcome.status in (Status.OPTIMAL.value, Status.FEASIBLE.value)
+        metrics.record_solve(
+            outcome.wall_time,
+            warm=outcome.warm_started,
+            iterations=outcome.iterations,
+            ok=ok,
+        )
+        if service.breaker is not None and (
+            ok or outcome.status != Status.TIME_LIMIT.value
+        ):
+            service.breaker.record_success(req.family_key())
+        if ok:
+            service.admit(req, outcome)
+        elif outcome.status == Status.TIME_LIMIT.value:
+            metrics.record_timeout()
+            if service.breaker is not None:
+                service.breaker.record_failure(req.family_key())
+            if service.resilience is not None:
+                # A deadline miss with resilience installed still owes the
+                # caller an answer: hand it to the ladder immediately.
+                answered[fp] = self._degrade_safe(
+                    fp, req, "worker solve exhausted its wall budget"
                 )
-                metrics.record_solve(
-                    outcome.wall_time,
-                    warm=outcome.warm_started,
-                    iterations=outcome.iterations,
-                    ok=ok,
-                )
-                if ok:
-                    self.service.admit(req, outcome)
-                elif outcome.status == Status.TIME_LIMIT.value:
-                    metrics.record_timeout()
-                answered[fp] = ServiceResponse.from_outcome(
-                    outcome, cached=False, latency=outcome.wall_time, donor=donor
-                )
+                return
+        answered[fp] = ServiceResponse.from_outcome(
+            outcome, cached=False, latency=outcome.wall_time, donor=donor
+        )
+
+    def _degrade_safe(
+        self, fp: str, req: SolveRequest, reason: str
+    ) -> ServiceResponse:
+        service = self.service
+        if service.breaker is not None:
+            service.breaker.record_failure(req.family_key())
+        if service.resilience is None:
+            return ServiceResponse.error(
+                fingerprint=fp, status=Status.TIME_LIMIT.value, message=reason
+            )
+        try:
+            return service.fallback(req, fp, reason=reason)
+        except ServiceRejectedError as exc:
+            return ServiceResponse.error(
+                fingerprint=fp,
+                status="rejected",
+                message=str(exc),
+                source="rejected",
+            )

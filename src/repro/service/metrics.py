@@ -94,6 +94,17 @@ class ServiceMetrics:
     warm_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
     cold_iterations: int = 0
     warm_iterations: int = 0
+    # -- resilience accounting (supervisor / retry / breaker / ladder) -----
+    retries: int = 0
+    hedges: int = 0
+    worker_crashes: int = 0
+    worker_hangs: int = 0
+    worker_restarts: int = 0
+    corruptions: int = 0
+    degraded_stale: int = 0
+    degraded_greedy: int = 0
+    rejections: int = 0
+    breaker_blocks: int = 0
 
     @property
     def misses(self) -> int:
@@ -144,6 +155,60 @@ class ServiceMetrics:
         self.timeouts += 1
         REGISTRY.counter("service_timeouts_total").inc()
 
+    def record_retry(self) -> None:
+        self.retries += 1
+        REGISTRY.counter("service_retries_total").inc()
+
+    def record_hedge(self) -> None:
+        self.hedges += 1
+        REGISTRY.counter("service_hedges_total").inc()
+
+    def record_worker_failure(self, kind: str) -> None:
+        """One worker death booked by the supervised pool (crash or hang).
+
+        The ``service_worker_failures_total`` registry counter is bumped by
+        the pool itself (it fires even on metrics-less pools); this method
+        only maintains the service-local mirror.
+        """
+        if kind == "hang":
+            self.worker_hangs += 1
+        else:
+            self.worker_crashes += 1
+
+    def record_worker_restart(self) -> None:
+        self.worker_restarts += 1
+
+    def record_corruption(self) -> None:
+        self.corruptions += 1
+        REGISTRY.counter("service_corruptions_total").inc()
+
+    def record_degraded(self, mode: str, latency: float) -> None:
+        """A request answered by a ladder rung below exact (stale/greedy)."""
+        self.requests += 1
+        self.request_latency.observe(latency)
+        if mode == "stale":
+            self.degraded_stale += 1
+        elif mode == "greedy":
+            self.degraded_greedy += 1
+        else:
+            raise ValueError(f"unknown degraded mode {mode!r}")
+        REGISTRY.counter("service_requests_total").inc(outcome=mode)
+        REGISTRY.counter("service_degraded_total").inc(mode=mode)
+        REGISTRY.histogram("service_request_seconds").observe(latency)
+
+    def record_rejection(self, latency: float) -> None:
+        """The ladder's explicit bottom: a typed refusal."""
+        self.requests += 1
+        self.rejections += 1
+        self.request_latency.observe(latency)
+        REGISTRY.counter("service_requests_total").inc(outcome="rejected")
+        REGISTRY.counter("service_rejections_total").inc()
+        REGISTRY.histogram("service_request_seconds").observe(latency)
+
+    def record_breaker_block(self) -> None:
+        self.breaker_blocks += 1
+        REGISTRY.counter("service_breaker_blocks_total").inc()
+
     def record_overload(self) -> None:
         self.overloads += 1
         REGISTRY.counter("service_overloads_total").inc()
@@ -169,6 +234,16 @@ class ServiceMetrics:
         self.batch_deduped = 0
         self.cold_iterations = 0
         self.warm_iterations = 0
+        self.retries = 0
+        self.hedges = 0
+        self.worker_crashes = 0
+        self.worker_hangs = 0
+        self.worker_restarts = 0
+        self.corruptions = 0
+        self.degraded_stale = 0
+        self.degraded_greedy = 0
+        self.rejections = 0
+        self.breaker_blocks = 0
         self.request_latency.reset()
         self.cold_latency.reset()
         self.warm_latency.reset()
@@ -191,6 +266,18 @@ class ServiceMetrics:
             "latency": self.request_latency.snapshot(),
             "cold_latency": self.cold_latency.snapshot(),
             "warm_latency": self.warm_latency.snapshot(),
+            "resilience": {
+                "retries": self.retries,
+                "hedges": self.hedges,
+                "worker_crashes": self.worker_crashes,
+                "worker_hangs": self.worker_hangs,
+                "worker_restarts": self.worker_restarts,
+                "corruptions": self.corruptions,
+                "degraded_stale": self.degraded_stale,
+                "degraded_greedy": self.degraded_greedy,
+                "rejections": self.rejections,
+                "breaker_blocks": self.breaker_blocks,
+            },
         }
 
     def render(self) -> str:
@@ -204,6 +291,12 @@ class ServiceMetrics:
             ["warm solves", snap["warm_solves"]],
             ["errors / timeouts / overloads",
              f"{snap['solve_errors']} / {snap['timeouts']} / {snap['overloads']}"],
+            ["retries / hedges",
+             f"{self.retries} / {self.hedges}"],
+            ["worker crashes / hangs / restarts",
+             f"{self.worker_crashes} / {self.worker_hangs} / {self.worker_restarts}"],
+            ["degraded stale / greedy / rejected",
+             f"{self.degraded_stale} / {self.degraded_greedy} / {self.rejections}"],
             ["warm-start speedup", f"{snap['warm_start_speedup']:.2f}x"],
             ["mean latency", f"{self.request_latency.mean * 1e3:.2f} ms"],
             ["p95 latency", f"{self.request_latency.quantile(0.95) * 1e3:.2f} ms"],

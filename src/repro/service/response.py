@@ -1,7 +1,18 @@
 """The service's answer envelope: allocation plus provenance.
 
 ``cached``/``warm_started``/``donor`` tell the caller *how* the answer was
-produced — the service analogue of :class:`repro.core.hslb.SolverProvenance`.
+produced — the service analogue of :class:`repro.core.hslb.SolverProvenance`
+— and ``source`` records which rung of the degradation ladder answered:
+
+* ``"exact"``  — a fresh solve finished normally;
+* ``"cache"``  — a live cache hit (bit-identical to the exact answer);
+* ``"stale"``  — a cache entry past its TTL, served under bounded
+  staleness (``staleness`` carries its age in seconds);
+* ``"greedy"`` — the polynomial-time approximate fallback;
+* ``"rejected"`` — no rung could answer; a typed refusal envelope.
+
+Every response is explicit about its rung, so a caller (or a metrics
+scrape) can always distinguish a first-class answer from a degraded one.
 """
 
 from __future__ import annotations
@@ -10,6 +21,9 @@ from dataclasses import dataclass
 
 from repro.minlp.solution import Status
 from repro.service.solver import SolveOutcome
+
+#: Degradation rungs, best to worst.
+SOURCES = ("exact", "cache", "stale", "greedy", "rejected")
 
 
 @dataclass(frozen=True)
@@ -26,10 +40,21 @@ class ServiceResponse:
     iterations: int
     latency: float  # seconds spent answering, queue to response
     message: str = ""
+    source: str = "exact"  # which ladder rung answered (see SOURCES)
+    staleness: float = 0.0  # age in seconds of a stale-served answer
+
+    def __post_init__(self) -> None:
+        if self.source not in SOURCES:
+            raise ValueError(f"unknown response source {self.source!r}")
 
     @property
     def ok(self) -> bool:
         return self.status in (Status.OPTIMAL.value, Status.FEASIBLE.value)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any rung below exact/cache produced this answer."""
+        return self.source in ("stale", "greedy", "rejected")
 
     @classmethod
     def from_outcome(
@@ -39,6 +64,8 @@ class ServiceResponse:
         cached: bool,
         latency: float,
         donor: str | None = None,
+        source: str | None = None,
+        staleness: float = 0.0,
     ) -> "ServiceResponse":
         return cls(
             fingerprint=outcome.fingerprint,
@@ -51,11 +78,21 @@ class ServiceResponse:
             iterations=outcome.iterations,
             latency=latency,
             message=outcome.message,
+            source=source or ("cache" if cached else "exact"),
+            staleness=staleness,
         )
 
     @classmethod
-    def error(cls, *, fingerprint: str, status: str, message: str) -> "ServiceResponse":
-        """A failed request (timeout, overload) as a response envelope."""
+    def error(
+        cls,
+        *,
+        fingerprint: str,
+        status: str,
+        message: str,
+        source: str = "exact",
+        latency: float = 0.0,
+    ) -> "ServiceResponse":
+        """A failed request (timeout, overload, rejection) as an envelope."""
         return cls(
             fingerprint=fingerprint,
             allocation={},
@@ -65,8 +102,9 @@ class ServiceResponse:
             warm_started=False,
             donor=None,
             iterations=0,
-            latency=0.0,
+            latency=latency,
             message=message,
+            source=source,
         )
 
     def to_dict(self) -> dict:
@@ -81,4 +119,6 @@ class ServiceResponse:
             "iterations": self.iterations,
             "latency": self.latency,
             "message": self.message,
+            "source": self.source,
+            "staleness": self.staleness,
         }

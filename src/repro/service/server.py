@@ -20,7 +20,11 @@ from __future__ import annotations
 import json
 from typing import IO
 
-from repro.service.errors import ServiceError, ServiceTimeoutError
+from repro.service.errors import (
+    ServiceError,
+    ServiceRejectedError,
+    ServiceTimeoutError,
+)
 from repro.service.service import AllocationService
 
 
@@ -60,6 +64,12 @@ def serve_loop(
             response = {
                 "error": str(exc),
                 "status": "time_limit",
+                "fingerprint": exc.fingerprint,
+            }
+        except ServiceRejectedError as exc:
+            response = {
+                "error": str(exc),
+                "status": "rejected",
                 "fingerprint": exc.fingerprint,
             }
         except ServiceError as exc:

@@ -5,16 +5,33 @@ Request lifecycle::
     submit(request)
       -> canonicalize + fingerprint            (request.py)
       -> cache lookup                          (cache.py; hit: done, ~µs)
+      -> circuit breaker check                 (breaker.py; open: degrade)
       -> warm-start donor: nearest cached node
          budget in the same request family     (this module)
       -> solve, x0 threaded through the
-         oa/nlpbb chain                        (solver.py -> repro.minlp)
+         oa/nlpbb chain, retried on system
+         failures with deterministic backoff   (solver.py, retry.py)
+      -> result validation (corruption check)  (solver.py)
       -> cache insert + donor-pool registration
       -> metrics
 
 Cached answers are bit-identical to fresh solves: the solve RNG is seeded
 from the fingerprint, so replaying the request in any process yields the
 same allocation and objective the cache stored.
+
+**The degradation ladder.**  With a :class:`ResiliencePolicy` installed, a
+request that cannot get an exact answer — worker crashes/hangs exhausted
+their retries, the solver blew its deadline, the family's circuit breaker
+is open — walks down explicit rungs instead of failing:
+
+1. **stale cache** — a TTL-expired entry within ``max_stale`` seconds of
+   age, served with ``source="stale"`` and its age attached;
+2. **greedy approximate** — the polynomial-time bounded greedy (the same
+   final rung as the PR 1 oa -> nlpbb -> greedy chain), ``source="greedy"``;
+3. **typed rejection** — :class:`ServiceRejectedError`, never a silent drop.
+
+Every rung records ``service_degraded_total``/``service_rejections_total``
+and a span tag, so degradation is always visible in the metrics scrape.
 """
 
 from __future__ import annotations
@@ -22,15 +39,67 @@ from __future__ import annotations
 import time
 from collections import defaultdict
 from collections.abc import Callable
+from dataclasses import dataclass, field
 
 from repro.minlp.solution import Status
 from repro.obs.trace import span
+from repro.service.breaker import BreakerPolicy, CircuitBreaker
 from repro.service.cache import SolutionCache
-from repro.service.errors import ServiceTimeoutError
+from repro.service.errors import (
+    ServiceRejectedError,
+    ServiceTimeoutError,
+    WorkerCrashError,
+    WorkerHangError,
+)
 from repro.service.metrics import ServiceMetrics
 from repro.service.request import SolveRequest
 from repro.service.response import ServiceResponse
-from repro.service.solver import SolveOutcome, solve_request
+from repro.service.retry import RetryPolicy
+from repro.service.solver import (
+    SolveOutcome,
+    greedy_outcome,
+    solve_request,
+    validate_outcome,
+)
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Every knob of the resilient request path, in one value object.
+
+    ``retry`` / ``breaker``
+        Re-dispatch and circuit-breaking policies (their own modules).
+    ``max_stale``
+        Oldest entry age (seconds since insert) the stale rung may serve;
+        ``None`` serves any entry still physically cached.
+    ``allow_stale`` / ``allow_greedy``
+        Switch individual rungs off (a rejected request is still typed).
+    ``restart_budget``
+        Worker replacements the supervised pool may spend per batch.
+    ``hang_timeout``
+        Harvest timeout (seconds) for pool dispatches when no per-request
+        deadline implies one; the backstop that turns a silent worker hang
+        into a typed, retryable failure.
+    ``min_attempt_budget``
+        Do not start another attempt with less deadline than this left.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    max_stale: float | None = None
+    allow_stale: bool = True
+    allow_greedy: bool = True
+    restart_budget: int = 3
+    hang_timeout: float = 30.0
+    min_attempt_budget: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.max_stale is not None and self.max_stale < 0:
+            raise ValueError("max_stale must be >= 0 (or None)")
+        if self.restart_budget < 0:
+            raise ValueError("restart_budget must be >= 0")
+        if self.hang_timeout <= 0:
+            raise ValueError("hang_timeout must be positive")
 
 
 class AllocationService:
@@ -43,12 +112,31 @@ class AllocationService:
         ttl: float | None = None,
         warm_start: bool = True,
         clock: Callable[[], float] = time.monotonic,
+        resilience: ResiliencePolicy | None = None,
+        chaos=None,  # ChaosPlan | None; annotation-free to avoid an import cycle
+        sleeper: Callable[[float], None] = time.sleep,
     ) -> None:
         self.cache: SolutionCache[SolveOutcome] = SolutionCache(
             capacity=cache_capacity, ttl=ttl, clock=clock
         )
         self.metrics = ServiceMetrics()
         self.warm_start = warm_start
+        self.resilience = resilience
+        self.chaos = chaos
+        self.sleeper = sleeper
+        self.breaker = (
+            CircuitBreaker(resilience.breaker, clock=clock) if resilience else None
+        )
+        if chaos is not None:
+            from repro.faults.chaos import chaotic_solve
+
+            self._solve = chaotic_solve(chaos, solve_request)
+        else:
+            self._solve = (
+                lambda request, *, x0=None, deadline=None, attempt=0: solve_request(
+                    request, x0=x0, deadline=deadline
+                )
+            )
         # family key -> {fingerprint: total_nodes}; entries go stale when the
         # cache evicts/expires them and are pruned lazily on donor lookups.
         self._families: dict[str, dict[str, int]] = defaultdict(dict)
@@ -58,17 +146,20 @@ class AllocationService:
     def submit(
         self, request: SolveRequest, *, deadline: float | None = None
     ) -> ServiceResponse:
-        """Answer one request from cache or by a (warm-started) solve.
+        """Answer one request from cache, a (warm-started) solve, or the ladder.
 
         Raises :class:`ServiceTimeoutError` when the per-request ``deadline``
-        expires with no usable incumbent; solver failures that are the
-        *model's* fault (infeasible, error) come back as a response with
-        ``ok=False`` instead — the caller's retry policy differs.
+        expires with no usable incumbent and no resilience policy is
+        installed, and :class:`ServiceRejectedError` when the degradation
+        ladder runs out of rungs; solver failures that are the *model's*
+        fault (infeasible, error) come back as a response with ``ok=False``
+        instead — the caller's retry policy differs.
         """
         with span("service.submit") as sp:
             response = self._submit(request, deadline=deadline)
             sp.set_tag("cached", response.cached)
             sp.set_tag("status", response.status)
+            sp.set_tag("source", response.source)
         return response
 
     def _submit(
@@ -83,31 +174,142 @@ class AllocationService:
             return ServiceResponse.from_outcome(
                 cached, cached=True, latency=latency
             )
+        policy = self.resilience
+        family = request.family_key()
+        if self.breaker is not None and not self.breaker.allow(family):
+            self.metrics.record_breaker_block()
+            return self.fallback(
+                request,
+                fingerprint,
+                reason=f"circuit breaker open for family {family[:12]}",
+                start=start,
+            )
         x0, donor = self._find_donor(request, fingerprint)
-        outcome = solve_request(request, x0=x0, deadline=deadline)
-        latency = time.perf_counter() - start
-        ok = outcome.status in (Status.OPTIMAL.value, Status.FEASIBLE.value)
-        self.metrics.record_solve(
-            latency, warm=outcome.warm_started, iterations=outcome.iterations, ok=ok
-        )
-        if ok:
-            self.admit(request, outcome)
-        elif outcome.status == Status.TIME_LIMIT.value:
+        attempts = policy.retry.max_attempts if policy else 1
+        last_reason = "no solve attempt ran"
+        for attempt in range(attempts):
+            if attempt:
+                self.metrics.record_retry()
+                self.sleeper(policy.retry.backoff(fingerprint, attempt))
+            budget = deadline
+            if deadline is not None:
+                budget = deadline - (time.perf_counter() - start)
+                if policy and budget <= policy.min_attempt_budget:
+                    last_reason = "deadline exhausted before another attempt"
+                    break
+            try:
+                outcome = self._solve(
+                    request, x0=x0, deadline=budget, attempt=attempt
+                )
+            except (WorkerCrashError, WorkerHangError) as exc:
+                self.metrics.record_worker_failure(
+                    "hang" if isinstance(exc, WorkerHangError) else "crash"
+                )
+                last_reason = str(exc)
+                if policy is None:
+                    raise
+                continue
+            if policy is not None:
+                corrupt = validate_outcome(request, outcome)
+                if corrupt is not None:
+                    self.metrics.record_corruption()
+                    last_reason = f"corrupt result: {corrupt}"
+                    continue
+            latency = time.perf_counter() - start
+            ok = outcome.status in (Status.OPTIMAL.value, Status.FEASIBLE.value)
+            if ok or outcome.status != Status.TIME_LIMIT.value:
+                # A finished solve — optimal/feasible, or a *model*-fault
+                # terminal status (infeasible, error) that no retry changes.
+                self.metrics.record_solve(
+                    latency,
+                    warm=outcome.warm_started,
+                    iterations=outcome.iterations,
+                    ok=ok,
+                )
+                if self.breaker is not None:
+                    # Any *completed* solve is a system success — even an
+                    # infeasible model proves the workers and solver ran.
+                    self.breaker.record_success(family)
+                if ok:
+                    self.admit(request, outcome)
+                return ServiceResponse.from_outcome(
+                    outcome, cached=False, latency=latency, donor=donor
+                )
+            # TIME_LIMIT: deterministic under a fixed budget, so spend the
+            # remaining deadline on the ladder, not on an identical re-run.
+            self.metrics.record_solve(
+                latency, warm=outcome.warm_started,
+                iterations=outcome.iterations, ok=False,
+            )
             self.metrics.record_timeout()
+            last_reason = "solver exhausted its wall budget"
+            break
+        if self.breaker is not None:
+            self.breaker.record_failure(family)
+        if policy is None:
             raise ServiceTimeoutError(
                 fingerprint=fingerprint,
-                deadline=deadline if deadline is not None else request.options.time_limit,
-                elapsed=latency,
+                deadline=(
+                    deadline if deadline is not None else request.options.time_limit
+                ),
+                elapsed=time.perf_counter() - start,
             )
-        return ServiceResponse.from_outcome(
-            outcome, cached=False, latency=latency, donor=donor
-        )
+        return self.fallback(request, fingerprint, reason=last_reason, start=start)
 
     def submit_dict(self, payload: dict, *, deadline: float | None = None) -> dict:
         """Wire-format entry point: dict in, dict out (the JSONL schema)."""
         return self.submit(
             SolveRequest.from_dict(payload), deadline=deadline
         ).to_dict()
+
+    # -- the degradation ladder --------------------------------------------
+
+    def fallback(
+        self,
+        request: SolveRequest,
+        fingerprint: str,
+        *,
+        reason: str,
+        start: float | None = None,
+    ) -> ServiceResponse:
+        """Walk the ladder below exact: stale cache -> greedy -> rejection.
+
+        Raises :class:`ServiceRejectedError` from the bottom rung; every
+        other return carries explicit ``source`` provenance and metrics.
+        """
+        policy = self.resilience
+        if policy is None:
+            raise ServiceRejectedError(fingerprint=fingerprint, reason=reason)
+        start = time.perf_counter() if start is None else start
+        with span("service.fallback") as sp:
+            sp.set_tag("reason", reason)
+            if policy.allow_stale:
+                hit = self.cache.stale(fingerprint, max_age=policy.max_stale)
+                if hit is not None:
+                    value, age = hit
+                    latency = time.perf_counter() - start
+                    self.metrics.record_degraded("stale", latency)
+                    sp.set_tag("source", "stale")
+                    return ServiceResponse.from_outcome(
+                        value,
+                        cached=True,
+                        latency=latency,
+                        source="stale",
+                        staleness=age,
+                    )
+            if policy.allow_greedy:
+                outcome = greedy_outcome(request)
+                latency = time.perf_counter() - start
+                self.metrics.record_degraded("greedy", latency)
+                sp.set_tag("source", "greedy")
+                # Greedy answers are NOT admitted to the cache: they must
+                # never shadow an exact answer for the same fingerprint.
+                return ServiceResponse.from_outcome(
+                    outcome, cached=False, latency=latency, source="greedy"
+                )
+            sp.set_tag("source", "rejected")
+            self.metrics.record_rejection(time.perf_counter() - start)
+            raise ServiceRejectedError(fingerprint=fingerprint, reason=reason)
 
     # -- cache/donor bookkeeping -------------------------------------------
 

@@ -10,6 +10,8 @@ property that lets cached responses stand in for fresh solves.
 
 from __future__ import annotations
 
+import heapq
+import math
 from dataclasses import dataclass
 
 from repro.core.builder import AllocationModelBuilder
@@ -140,3 +142,101 @@ def _outcome(
 def outcome_is_timeout(outcome: SolveOutcome) -> bool:
     """True when the solver died on its wall budget with no usable point."""
     return outcome.status == Status.TIME_LIMIT.value
+
+
+def validate_outcome(request: SolveRequest, outcome: SolveOutcome) -> str | None:
+    """Sanity-check a (possibly worker-produced) outcome against its request.
+
+    Returns a human-readable reason when the outcome is *corrupt* — the
+    allocation does not answer the request it claims to — and ``None`` when
+    it is structurally sound.  A worker that died halfway through writing
+    its result, or chaos-injected corruption, fails here and is retried
+    like a crash; a legitimately infeasible model passes (empty allocation
+    with a not-ok status is an answer, not corruption).
+    """
+    if outcome.fingerprint != request.fingerprint():
+        return "fingerprint mismatch (answer belongs to a different request)"
+    if outcome.status not in (Status.OPTIMAL.value, Status.FEASIBLE.value):
+        return None
+    if set(outcome.allocation) != set(request.components):
+        return "allocation components do not match the request"
+    total = sum(outcome.allocation.values())
+    if total > request.total_nodes:
+        return (
+            f"allocation spends {total} nodes against a budget of "
+            f"{request.total_nodes}"
+        )
+    if any(count < 1 for count in outcome.allocation.values()):
+        return "allocation grants a component less than one node"
+    if not math.isfinite(outcome.objective):
+        return f"objective is not finite ({outcome.objective!r})"
+    return None
+
+
+def greedy_outcome(request: SolveRequest) -> SolveOutcome:
+    """Polynomial-time approximate answer: the degradation ladder's third rung.
+
+    A bounded marginal greedy in the spirit of
+    :func:`repro.core.greedy.greedy_minmax_allocation`, generalized to
+    honor per-component ``min_nodes``/``max_nodes`` bounds: every component
+    starts at its floor, then the remaining budget goes one node at a time
+    to the currently slowest component, never pushing a component past its
+    curve minimum while another can still improve.  Exact for the
+    single-constraint min-max family; a feasible approximation otherwise —
+    either way an answer with explicit ``greedy fallback`` provenance
+    instead of a refused request.
+    """
+    fingerprint = request.fingerprint()
+    total = request.total_nodes
+    models = {name: spec.model for name, spec in request.components.items()}
+    hard_cap = {
+        name: min(total, spec.max_nodes if spec.max_nodes is not None else total)
+        for name, spec in request.components.items()
+    }
+    soft_cap = {
+        name: min(
+            hard_cap[name], max(1, int(models[name].optimal_nodes(n_max=total)))
+        )
+        for name in models
+    }
+    alloc = {
+        name: min(max(1, spec.min_nodes), hard_cap[name])
+        for name, spec in request.components.items()
+    }
+    budget = total - sum(alloc.values())
+    # Phase 1: grant to the slowest component still below its curve minimum.
+    heap = [(-float(models[n].time(alloc[n])), n) for n in models]
+    heapq.heapify(heap)
+    while budget > 0 and heap:
+        _, name = heapq.heappop(heap)
+        if alloc[name] >= soft_cap[name]:
+            continue
+        alloc[name] += 1
+        budget -= 1
+        heapq.heappush(heap, (-float(models[name].time(alloc[name])), name))
+    # Phase 2 (exact-budget objectives): everyone is at their sweet spot but
+    # nodes remain — spread the remainder round-robin up to the hard caps.
+    if budget > 0 and Objective(request.objective) is Objective.MAX_MIN:
+        for name in sorted(alloc):
+            while budget > 0 and alloc[name] < hard_cap[name]:
+                alloc[name] += 1
+                budget -= 1
+    times = {name: float(models[name].time(alloc[name])) for name in alloc}
+    objective = Objective(request.objective)
+    if objective is Objective.MIN_SUM:
+        value = sum(times.values())
+    elif objective is Objective.MAX_MIN:
+        value = min(times.values())
+    else:
+        value = max(times.values())
+    return SolveOutcome(
+        fingerprint=fingerprint,
+        allocation=dict(alloc),
+        objective=float(value),
+        status=Status.FEASIBLE.value,
+        iterations=0,
+        wall_time=0.0,
+        values={f"n_{name}": float(count) for name, count in alloc.items()},
+        warm_started=False,
+        message="greedy fallback (exact solve unavailable)",
+    )

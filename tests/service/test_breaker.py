@@ -1,0 +1,130 @@
+"""Circuit breaker: the three-state machine on a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import BreakerPolicy, CircuitBreaker
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def make(clock, **kwargs) -> CircuitBreaker:
+    defaults = dict(failure_threshold=2, reset_timeout=10.0)
+    defaults.update(kwargs)
+    return CircuitBreaker(BreakerPolicy(**defaults), clock=clock)
+
+
+def test_consecutive_failures_open_the_breaker(clock):
+    br = make(clock)
+    assert br.allow("fam")
+    br.record_failure("fam")
+    assert br.allow("fam")  # one failure: still closed
+    br.record_failure("fam")
+    assert br.state("fam") == OPEN
+    assert not br.allow("fam")
+
+
+def test_success_resets_the_failure_streak(clock):
+    br = make(clock)
+    br.record_failure("fam")
+    br.record_success("fam")
+    br.record_failure("fam")
+    assert br.state("fam") == CLOSED
+
+
+def test_half_open_probe_success_closes(clock):
+    br = make(clock)
+    br.record_failure("fam")
+    br.record_failure("fam")
+    clock.advance(10.0)
+    assert br.state("fam") == HALF_OPEN
+    assert br.allow("fam")  # the probe
+    assert not br.allow("fam")  # probe_limit=1: no second probe
+    br.record_success("fam")
+    assert br.state("fam") == CLOSED
+    assert br.allow("fam")
+
+
+def test_half_open_probe_failure_reopens_with_fresh_timeout(clock):
+    br = make(clock)
+    br.record_failure("fam")
+    br.record_failure("fam")
+    clock.advance(10.0)
+    assert br.allow("fam")
+    br.record_failure("fam")
+    assert br.state("fam") == OPEN
+    clock.advance(9.0)  # fresh timeout: 9s into the *new* open window
+    assert not br.allow("fam")
+    clock.advance(1.0)
+    assert br.allow("fam")
+
+
+def test_open_blocks_until_reset_timeout(clock):
+    br = make(clock)
+    br.record_failure("fam")
+    br.record_failure("fam")
+    clock.advance(9.99)
+    assert not br.allow("fam")
+    assert br.state("fam") == OPEN
+
+
+def test_families_are_isolated(clock):
+    br = make(clock)
+    br.record_failure("a")
+    br.record_failure("a")
+    assert not br.allow("a")
+    assert br.allow("b")
+    assert br.state("b") == CLOSED
+
+
+def test_multi_probe_policy(clock):
+    br = make(clock, probe_limit=2, successes_to_close=2)
+    br.record_failure("fam")
+    br.record_failure("fam")
+    clock.advance(10.0)
+    assert br.allow("fam")
+    assert br.allow("fam")
+    assert not br.allow("fam")  # both probe slots consumed
+    br.record_success("fam")
+    assert br.state("fam") == HALF_OPEN  # needs 2 successes
+    br.record_success("fam")
+    assert br.state("fam") == CLOSED
+
+
+def test_snapshot_reports_state_and_opens(clock):
+    br = make(clock)
+    br.record_failure("fam")
+    br.record_failure("fam")
+    snap = br.snapshot()
+    assert snap["fam"]["state"] == OPEN
+    assert snap["fam"]["opens"] == 1
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"failure_threshold": 0},
+        {"reset_timeout": 0.0},
+        {"probe_limit": 0},
+        {"probe_limit": 1, "successes_to_close": 2},
+    ],
+)
+def test_policy_validation(kwargs):
+    with pytest.raises(ValueError):
+        BreakerPolicy(**kwargs)

@@ -89,3 +89,128 @@ def test_contains_is_non_mutating():
     assert "a" in cache
     cache.put("c", 3)  # __contains__ must not have promoted "a"
     assert "a" not in cache
+
+
+def test_entry_is_valid_at_exactly_the_ttl_boundary():
+    clock = FakeClock()
+    cache = SolutionCache(capacity=4, ttl=10.0, clock=clock)
+    cache.put("a", 1)
+    clock.advance(10.0)  # age == ttl: still valid, expiry is strictly after
+    assert "a" in cache
+    assert cache.get("a") == 1
+    clock.advance(1e-9)
+    assert cache.get("a") is None
+    assert cache.stats.expirations == 1
+
+
+def test_expired_corpse_serves_stale_until_purged():
+    clock = FakeClock()
+    cache = SolutionCache(capacity=4, ttl=10.0, clock=clock)
+    cache.put("a", 1)
+    clock.advance(30.0)
+    assert "a" not in cache and cache.get("a") is None
+    # The corpse stays physically present for bounded-staleness serving...
+    assert len(cache) == 1
+    assert cache.stale("a") == (1, 30.0)
+    assert cache.stale("a", max_age=60.0) == (1, 30.0)
+    assert cache.stale("a", max_age=20.0) is None  # too old for this caller
+    # ...until an explicit purge removes it.
+    assert cache.purge() == 1
+    assert cache.stale("a") is None
+    assert len(cache) == 0
+
+
+def test_stale_reads_touch_no_hit_miss_accounting():
+    clock = FakeClock()
+    cache = SolutionCache(capacity=4, ttl=10.0, clock=clock)
+    cache.put("a", 1)
+    clock.advance(30.0)
+    before = (cache.stats.hits, cache.stats.misses)
+    assert cache.stale("a") is not None
+    assert (cache.stats.hits, cache.stats.misses) == before
+
+
+def test_expiration_is_booked_exactly_once():
+    clock = FakeClock()
+    cache = SolutionCache(capacity=4, ttl=10.0, clock=clock)
+    cache.put("a", 1)
+    clock.advance(30.0)
+    cache.get("a")  # books the expiration
+    cache.get("a")  # a second miss on the corpse must not double-book
+    cache.purge()  # nor must the sweep
+    assert cache.stats.expirations == 1
+    assert cache.stats.misses == 2
+
+
+def test_capacity_removal_of_a_corpse_books_expiration_not_eviction():
+    clock = FakeClock()
+    cache = SolutionCache(capacity=2, ttl=10.0, clock=clock)
+    cache.put("a", 1)
+    clock.advance(30.0)  # "a" dies of age, unobserved
+    cache.put("b", 2)
+    cache.put("c", 3)  # capacity pushes the corpse out
+    assert cache.stats.expirations == 1
+    assert cache.stats.evictions == 0
+    cache.put("d", 4)  # now a *live* entry is the victim
+    assert cache.stats.evictions == 1
+
+
+def test_stats_mirror_registry_counters():
+    from repro.obs.metrics import REGISTRY
+
+    counters = {
+        name: REGISTRY.counter(f"service_cache_{name}_total").value()
+        for name in ("hits", "misses", "evictions", "expirations", "inserts")
+    }
+    clock = FakeClock()
+    cache = SolutionCache(capacity=1, ttl=10.0, clock=clock)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("nope")
+    cache.put("b", 2)  # evicts live "a"
+    clock.advance(30.0)
+    cache.get("b")  # expired: miss + expiration
+    deltas = {
+        name: REGISTRY.counter(f"service_cache_{name}_total").value() - before
+        for name, before in counters.items()
+    }
+    assert deltas == {
+        "hits": cache.stats.hits,
+        "misses": cache.stats.misses,
+        "evictions": cache.stats.evictions,
+        "expirations": cache.stats.expirations,
+        "inserts": cache.stats.inserts,
+    }
+    assert cache.stats.as_dict()["hit_rate"] == cache.stats.hit_rate
+
+
+def test_concurrent_gets_and_puts_keep_accounting_consistent():
+    import threading
+
+    cache = SolutionCache(capacity=16)
+    for i in range(16):
+        cache.put(f"k{i}", i)
+    gets_per_thread = 200
+    errors = []
+
+    def hammer(tid: int) -> None:
+        try:
+            for i in range(gets_per_thread):
+                key = f"k{(tid * 7 + i) % 24}"  # some keys always miss
+                value = cache.get(key)
+                if value is not None:
+                    assert value == int(key[1:])
+                if i % 50 == 0:
+                    cache.put(key, int(key[1:]))
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(t,)) for t in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    # Every get was booked exactly once as a hit or a miss.
+    assert cache.stats.lookups == 8 * gets_per_thread
+    assert len(cache) <= 16

@@ -1,0 +1,71 @@
+"""Admission backpressure: typed shed, retry-after hints, shed accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import REGISTRY
+from repro.service import (
+    AllocationService,
+    BatchExecutor,
+    ServiceOverloadError,
+)
+from tests.service.conftest import make_request
+
+
+def oversized_batch(n: int) -> list:
+    return [make_request(24 + i) for i in range(n)]
+
+
+def test_oversized_batch_is_refused_with_a_typed_error():
+    executor = BatchExecutor(AllocationService(), max_pending=2)
+    with pytest.raises(ServiceOverloadError) as err:
+        executor.run(oversized_batch(5))
+    assert err.value.pending == 5
+    assert err.value.capacity == 2
+
+
+def test_retry_after_hint_scales_with_the_excess():
+    service = AllocationService()
+    executor = BatchExecutor(service, max_pending=2, deadline=0.5)
+    with pytest.raises(ServiceOverloadError) as err:
+        executor.run(oversized_batch(5))
+    # No latency history yet: the hint falls back to excess x deadline.
+    assert err.value.retry_after == pytest.approx(3 * 0.5)
+    assert "retry after" in str(err.value)
+    # With observed traffic the hint tracks the measured mean latency.
+    service.metrics.request_latency.observe(0.2)
+    with pytest.raises(ServiceOverloadError) as err:
+        executor.run(oversized_batch(4))
+    assert err.value.retry_after == pytest.approx(2 * 0.2)
+
+
+def test_retry_after_defaults_conservatively_without_any_signal():
+    executor = BatchExecutor(AllocationService(), max_pending=3)
+    with pytest.raises(ServiceOverloadError) as err:
+        executor.run(oversized_batch(4))
+    assert err.value.retry_after > 0.0
+
+
+def test_overload_counter_matches_shed_events():
+    service = AllocationService()
+    executor = BatchExecutor(service, max_pending=2)
+    before = REGISTRY.counter("service_overloads_total").value()
+    for _ in range(3):
+        with pytest.raises(ServiceOverloadError):
+            executor.run(oversized_batch(4))
+    assert service.metrics.overloads == 3
+    after = REGISTRY.counter("service_overloads_total").value()
+    assert after - before == 3
+    # Admitted batches do not touch the overload ledger.
+    executor.run([make_request(24)])
+    assert service.metrics.overloads == 3
+
+
+def test_shed_batches_never_run_any_solve():
+    service = AllocationService()
+    executor = BatchExecutor(service, max_pending=1)
+    with pytest.raises(ServiceOverloadError):
+        executor.run(oversized_batch(3))
+    assert service.metrics.cold_solves == 0
+    assert len(service.cache) == 0

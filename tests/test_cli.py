@@ -328,6 +328,13 @@ def test_batch_bad_request_is_a_clean_error(tmp_path, capsys):
     assert "components" in capsys.readouterr().err
 
 
+def test_bad_chaos_rate_is_a_clean_error(capsys):
+    assert main(["chaos", "--chaos-crash-rate", "1.5"]) == 2
+    assert "crash_rate" in capsys.readouterr().err
+    assert main(["serve", "--chaos-hang-rate", "-0.1"]) == 2
+    assert "hang_rate" in capsys.readouterr().err
+
+
 def test_serve_command(monkeypatch, capsys):
     import io
     import json

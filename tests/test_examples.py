@@ -53,6 +53,14 @@ def test_job_size_prediction(monkeypatch, capsys):
     assert "what-if" in out
 
 
+def test_resilient_service(monkeypatch, capsys):
+    out = _run(f"{EXAMPLES}/resilient_service.py", [], monkeypatch, capsys)
+    assert "retry recovers" in out
+    assert "source=stale" in out and "source=greedy" in out
+    assert "breaker open" in out
+    assert "all answered: True" in out
+
+
 @pytest.mark.slow
 def test_cesm_high_resolution(monkeypatch, capsys):
     out = _run(f"{EXAMPLES}/cesm_high_resolution.py", ["8192"], monkeypatch, capsys)
