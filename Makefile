@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench faults-bench service-bench obs-bench chaos examples reports clean
+.PHONY: install test bench solver-bench bench-check faults-bench service-bench obs-bench chaos examples reports clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +15,19 @@ test:
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Solver hot-path micro-benchmarks (simplex, warm restarts, B&B node
+# throughput, OA masters); updates benchmarks/out/BENCH_solver_micro.json.
+solver-bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_solver_micro.py --benchmark-only
+
+# Regression gate: run the solver micro-benchmarks to a scratch file and
+# fail if any gated (simplex/LP) mean regressed >2x vs. the committed
+# baseline. CI runs this on every push.
+bench-check:
+	HSLB_BENCH_OUT=benchmarks/out/BENCH_solver_micro.fresh.json \
+		PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_solver_micro.py --benchmark-only -q
+	$(PYTHON) benchmarks/check_bench.py --fresh benchmarks/out/BENCH_solver_micro.fresh.json
 
 # Fault-injection degradation curves; writes
 # benchmarks/out/faults_degradation.txt and faults_pipeline.txt.

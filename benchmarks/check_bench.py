@@ -1,0 +1,112 @@
+"""Benchmark regression gate: fresh timings vs. the committed baseline.
+
+``make bench-check`` runs the solver micro-benchmarks with ``HSLB_BENCH_OUT``
+pointed at a scratch file, then invokes this script to diff that fresh file
+against the committed ``benchmarks/out/BENCH_solver_micro.json``.  The gate
+fails (exit 1) when any *gated* benchmark's mean regresses by more than the
+threshold (default 2x); everything else is reported informationally, because
+end-to-end solves and fitting throughput are too noisy on shared CI runners
+to gate hard.
+
+Gated keys are the solver hot path this repo optimizes deliberately — the
+pure-python simplex, warm restarts, the incremental LP resolve, and B&B node
+throughput.  A >2x mean regression there is a code problem, not noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import pathlib
+import sys
+
+_HERE = pathlib.Path(__file__).parent
+_BASELINE = _HERE / "out" / "BENCH_solver_micro.json"
+
+#: Benchmarks whose mean regression fails the gate (fnmatch patterns).
+GATED = (
+    "test_lp_pure_python_simplex",
+    "test_lp_simplex_warm_restart",
+    "test_lp_highs_backend",
+    "test_incremental_lp_node_resolve",
+    "test_bnb_node_throughput*",
+)
+
+
+def _load(path: pathlib.Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(f"bench-check: missing benchmark file {path}")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"bench-check: {path} is not valid JSON ({exc})")
+
+
+def _gated(name: str) -> bool:
+    return any(fnmatch.fnmatch(name, pat) for pat in GATED)
+
+
+def check(fresh: dict, baseline: dict, threshold: float) -> list[str]:
+    """Return the list of gate failures (empty means the gate passes)."""
+    failures: list[str] = []
+    for name in sorted(baseline):
+        base_mean = baseline[name].get("mean")
+        record = fresh.get(name)
+        if not _gated(name):
+            continue
+        if record is None:
+            failures.append(f"{name}: present in baseline but missing from fresh run")
+            continue
+        mean = record.get("mean")
+        if base_mean is None or mean is None:
+            continue
+        ratio = mean / base_mean if base_mean > 0 else float("inf")
+        verdict = "FAIL" if ratio > threshold else "ok"
+        print(
+            f"[{verdict}] {name}: {base_mean * 1e3:.3f} ms -> {mean * 1e3:.3f} ms "
+            f"({ratio:.2f}x)"
+        )
+        if ratio > threshold:
+            failures.append(
+                f"{name}: mean {mean * 1e3:.3f} ms is {ratio:.2f}x the baseline "
+                f"{base_mean * 1e3:.3f} ms (threshold {threshold:.1f}x)"
+            )
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"[new ] {name}: {fresh[name].get('mean', 0.0) * 1e3:.3f} ms (no baseline)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh",
+        type=pathlib.Path,
+        required=True,
+        help="benchmark JSON produced by the fresh run (via HSLB_BENCH_OUT)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=_BASELINE,
+        help=f"committed baseline to diff against (default: {_BASELINE})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="maximum allowed mean ratio fresh/baseline for gated keys",
+    )
+    args = parser.parse_args(argv)
+    failures = check(_load(args.fresh), _load(args.baseline), args.threshold)
+    if failures:
+        print("\nbench-check FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  - {line}", file=sys.stderr)
+        return 1
+    print("\nbench-check passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

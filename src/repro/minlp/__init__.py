@@ -24,6 +24,7 @@ import numpy as np
 from repro.minlp.ampl_export import problem_to_ampl
 from repro.minlp.bnb import BnBOptions, BranchAndBound
 from repro.minlp.brute import solve_brute_force
+from repro.minlp.cutpool import OACutPool
 from repro.minlp.ecp import solve_minlp_ecp
 from repro.minlp.expr import (
     Constant,
@@ -62,6 +63,7 @@ __all__ = [
     "Expr",
     "LinearProgram",
     "Model",
+    "OACutPool",
     "Problem",
     "Relation",
     "SOS1",
@@ -100,6 +102,7 @@ def solve(
     algorithm: str = "auto",
     rng: np.random.Generator | None = None,
     x0: dict[str, float] | None = None,
+    cut_pool: OACutPool | None = None,
 ) -> Solution:
     """Solve ``problem`` with an automatically (or explicitly) chosen algorithm.
 
@@ -111,7 +114,9 @@ def solve(
     ``"nlpbb"``, ``"brute"``.
 
     ``x0`` is an optional (possibly partial) warm-start point, honored by
-    the NLP, OA, and NLP-B&B routes and ignored by the rest.
+    the NLP, OA, and NLP-B&B routes and ignored by the rest.  ``cut_pool``
+    shares an :class:`OACutPool` across successive OA solves (see
+    :func:`repro.minlp.oa.solve_minlp_oa`); other routes ignore it.
     """
     if algorithm == "auto":
         if problem.is_linear():
@@ -119,15 +124,17 @@ def solve(
         if not problem.is_mip():
             return solve_nlp(problem, x0=x0, rng=rng)
         try:
-            return solve_minlp_oa(problem, options, rng=rng, x0=x0)
+            return solve_minlp_oa(problem, options, rng=rng, x0=x0, cut_pool=cut_pool)
         except ValueError:
             return solve_minlp_nlpbb(problem, options, rng=rng, x0=x0)
     dispatch = {
         "milp": lambda: solve_milp(problem, options),
         "lp": lambda: solve_problem_lp(problem),
         "nlp": lambda: solve_nlp(problem, x0=x0, rng=rng),
-        "oa": lambda: solve_minlp_oa(problem, options, rng=rng, x0=x0),
-        "oa-multitree": lambda: solve_minlp_oa_multitree(problem, options, rng=rng),
+        "oa": lambda: solve_minlp_oa(problem, options, rng=rng, x0=x0, cut_pool=cut_pool),
+        "oa-multitree": lambda: solve_minlp_oa_multitree(
+            problem, options, rng=rng, cut_pool=cut_pool
+        ),
         "ecp": lambda: solve_minlp_ecp(problem, options),
         "nlpbb": lambda: solve_minlp_nlpbb(problem, options, rng=rng, x0=x0),
         "brute": lambda: solve_brute_force(problem, rng=rng),

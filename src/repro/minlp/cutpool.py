@@ -1,0 +1,217 @@
+"""Aged pool of outer-approximation linearization cuts.
+
+Building an OA cut means linearizing a nonlinear constraint body at a point
+— a symbolic differentiation plus expression assembly that the profiler
+shows dominating master construction once instances grow (hundreds of cuts
+per solve, most of them re-derived at previously-seen points).  The pool
+memoizes cuts by **constraint + quantized linearization point** so:
+
+* within one solve, a repeated expansion point returns the cached cut (the
+  stable digest name then makes :meth:`BranchAndBound.add_global_cut`'s
+  duplicate check a no-op, which correctly fathoms the node instead of
+  re-queuing it);
+* across solves sharing a pool (successive multi-tree masters, warm-started
+  service re-solves on the same model family), surviving cuts are
+  *reactivated* into the fresh master instead of being rediscovered one
+  lazy callback at a time.
+
+Lifecycle: :meth:`begin_solve` opens an epoch, :meth:`cut_for` serves cut
+tuples (recording pool hits/misses), :meth:`end_solve` ages every cut —
+cuts that were **binding** at the final point stay young, **slack** cuts
+age and are evicted after :attr:`max_age` epochs, and an LRU size cap
+bounds the pool.  All events land on the ``solver_cut_pool_total`` metric
+and, when tracing is on, ``oa.cut_pool`` events.
+
+Determinism: a pool is keyed only by exact constraint names and quantized
+points and its iteration order is insertion order, so two processes feeding
+the same solve sequence build identical pools.  Sharing a pool *across*
+solves changes which cuts a master starts with — callers that guarantee
+bit-identical replays (the allocation service) must keep per-solve pools
+unless cross-solve sharing is explicitly requested.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections import OrderedDict
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.minlp.expr import Expr, linearize
+from repro.minlp.problem import Constraint
+from repro.obs import telemetry
+
+#: Linearization points are quantized to this many decimals for keying; two
+#: points closer than 1e-9 per coordinate produce the same first-order cut
+#: to well below solver tolerances.
+_POINT_DECIMALS = 9
+
+
+@dataclass
+class _PooledCut:
+    """One memoized linearization with its ageing state."""
+
+    name: str
+    body: Expr
+    lb: float
+    ub: float
+    born_epoch: int
+    idle_epochs: int = 0  # consecutive end-of-solve checks where it was slack
+
+
+@dataclass
+class CutPoolStats:
+    hits: int = 0
+    misses: int = 0
+    reactivated: int = 0
+    evicted: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "reactivated": self.reactivated,
+            "evicted": self.evicted,
+        }
+
+
+class OACutPool:
+    """Pool of OA cuts keyed by (constraint name, quantized point).
+
+    ``max_cuts`` caps the pool LRU-style (oldest untouched entry evicted
+    first); ``max_age`` evicts cuts slack for that many consecutive solve
+    epochs; ``slack_tol`` decides binding vs. slack at :meth:`end_solve`.
+    """
+
+    def __init__(
+        self,
+        max_cuts: int = 2048,
+        max_age: int = 8,
+        slack_tol: float = 1e-6,
+    ) -> None:
+        if max_cuts < 1:
+            raise ValueError("max_cuts must be positive")
+        self.max_cuts = int(max_cuts)
+        self.max_age = int(max_age)
+        self.slack_tol = float(slack_tol)
+        self._cuts: OrderedDict[tuple, _PooledCut] = OrderedDict()
+        self._epoch = 0
+        self.stats = CutPoolStats()
+
+    # -- keying ------------------------------------------------------------
+
+    @staticmethod
+    def _key(con: Constraint, point: Mapping[str, float]) -> tuple:
+        coords = tuple(
+            (v, round(float(point[v]), _POINT_DECIMALS))
+            for v in sorted(con.body.variables())
+        )
+        return (con.name, coords)
+
+    @staticmethod
+    def _name(key: tuple) -> str:
+        digest = hashlib.blake2b(repr(key).encode(), digest_size=8).hexdigest()
+        return f"oa_{key[0]}_{digest}"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin_solve(self) -> int:
+        """Open a solve epoch; returns the epoch index (useful in traces)."""
+        self._epoch += 1
+        return self._epoch
+
+    def cut_for(
+        self, con: Constraint, point: Mapping[str, float]
+    ) -> tuple[str, Expr, float, float]:
+        """The linearization cut of ``con`` at ``point`` (memoized).
+
+        Returns the same ``(name, body, lb, ub)`` tuple shape that
+        :func:`repro.minlp.oa._cut_for` produced, but with a stable
+        content-derived name: re-requesting a cut yields the identical name,
+        so downstream duplicate checks dedup it naturally.
+        """
+        key = self._key(con, point)
+        entry = self._cuts.get(key)
+        if entry is not None:
+            self._cuts.move_to_end(key)
+            entry.idle_epochs = 0
+            self.stats.hits += 1
+            telemetry.record_cut_pool("hit")
+            return (entry.name, entry.body, entry.lb, entry.ub)
+        name = self._name(key)
+        if math.isfinite(con.ub):
+            body, lb, ub = linearize(con.body, point), -math.inf, con.ub
+        else:
+            body, lb, ub = linearize(-con.body, point), -math.inf, -con.lb
+        self._cuts[key] = _PooledCut(name, body, lb, ub, born_epoch=self._epoch)
+        self.stats.misses += 1
+        telemetry.record_cut_pool("miss")
+        self._enforce_cap()
+        return (name, body, lb, ub)
+
+    def active_cuts(self) -> list[tuple[str, Expr, float, float]]:
+        """Every live cut, insertion-ordered — preinstalled into new masters.
+
+        Cuts born in *earlier* epochs count as reactivations (work a fresh
+        solve did not have to redo); current-epoch cuts are simply live.
+        """
+        out = []
+        reactivated = 0
+        for entry in self._cuts.values():
+            if entry.born_epoch < self._epoch:
+                reactivated += 1
+            out.append((entry.name, entry.body, entry.lb, entry.ub))
+        if reactivated:
+            self.stats.reactivated += reactivated
+            telemetry.record_cut_pool("reactivated", reactivated)
+        return out
+
+    def end_solve(self, point: Mapping[str, float] | None = None) -> int:
+        """Close the epoch: age slack cuts, evict the expired; returns evictions.
+
+        ``point`` is the solve's final solution.  Cuts binding there (body
+        within :attr:`slack_tol` of a bound) reset their idle counter; slack
+        cuts — and every cut when no point is available — age by one epoch.
+        """
+        expired: list[tuple] = []
+        for key, entry in self._cuts.items():
+            slack = True
+            if point is not None:
+                try:
+                    g = float(entry.body.evaluate(point))
+                except (KeyError, TypeError):  # point lacks a cut variable
+                    g = None
+                if g is not None:
+                    slack = (
+                        g < entry.ub - self.slack_tol
+                        and g > entry.lb + self.slack_tol
+                    )
+            if slack:
+                entry.idle_epochs += 1
+                if entry.idle_epochs >= self.max_age:
+                    expired.append(key)
+            else:
+                entry.idle_epochs = 0
+        for key in expired:
+            del self._cuts[key]
+        if expired:
+            self.stats.evicted += len(expired)
+            telemetry.record_cut_pool("evicted", len(expired))
+        return len(expired)
+
+    def _enforce_cap(self) -> None:
+        evicted = 0
+        while len(self._cuts) > self.max_cuts:
+            self._cuts.popitem(last=False)
+            evicted += 1
+        if evicted:
+            self.stats.evicted += evicted
+            telemetry.record_cut_pool("evicted", evicted)
+
+    def __len__(self) -> int:
+        return len(self._cuts)
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch

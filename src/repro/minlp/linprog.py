@@ -24,6 +24,7 @@ from scipy.optimize import linprog as _scipy_linprog
 
 from repro.minlp.problem import Problem
 from repro.minlp.solution import Solution, SolveStats, Status
+from repro.obs import telemetry
 
 
 @dataclass
@@ -100,6 +101,14 @@ class LPResult:
     x: np.ndarray | None
     objective: float
     message: str = ""
+    #: Final simplex basis (a :class:`repro.minlp.simplex.SimplexBasis`) when
+    #: the built-in backend solved this LP; None for HiGHS solves.  Feed it
+    #: back via ``solve_lp_simplex(..., basis=...)`` to warm-start a related
+    #: solve (branch-and-bound child nodes do exactly this).
+    basis: object | None = None
+    #: True when a supplied basis was structurally compatible and actually
+    #: seeded this solve (the hit/miss signal behind ``solver_basis_reuse``).
+    warm_started: bool = False
 
     def values(self, lp: LinearProgram) -> dict[str, float]:
         if self.x is None:
@@ -116,69 +125,116 @@ _SCIPY_STATUS = {
 }
 
 
-def solve_lp(lp: LinearProgram) -> LPResult:
-    """Solve ``lp`` with scipy's HiGHS backend.
+def _split_rows(
+    A: np.ndarray, row_lb: np.ndarray, row_ub: np.ndarray
+) -> tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None, np.ndarray | None]:
+    """Vectorized range-row split into scipy's ``(A_ub, b_ub, A_eq, b_eq)``.
 
     Two-sided rows are split into <=/>= pairs only where needed; equality
-    rows go through ``A_eq`` directly.
+    rows go through ``A_eq`` directly.  The <=/>= pair of a two-sided row
+    stays adjacent (source order, <= first): row order steers which of
+    several degenerate optima HiGHS reports, so it must stay stable across
+    refactorings for solves to remain bit-reproducible.
     """
-    A_ub_rows: list[np.ndarray] = []
-    b_ub: list[float] = []
-    A_eq_rows: list[np.ndarray] = []
-    b_eq: list[float] = []
-    for i in range(lp.num_rows):
-        lo, hi, row = lp.row_lb[i], lp.row_ub[i], lp.A[i]
-        if lo == hi:
-            A_eq_rows.append(row)
-            b_eq.append(lo)
-            continue
-        if math.isfinite(hi):
-            A_ub_rows.append(row)
-            b_ub.append(hi)
-        if math.isfinite(lo):
-            A_ub_rows.append(-row)
-            b_ub.append(-lo)
+    eq = row_lb == row_ub
+    le = ~eq & np.isfinite(row_ub)
+    ge = ~eq & np.isfinite(row_lb)
+    A_ub = b_ub = A_eq = b_eq = None
+    if le.any() or ge.any():
+        src = np.concatenate([np.flatnonzero(le), np.flatnonzero(ge)])
+        kind = np.concatenate([np.zeros(int(le.sum()), int), np.ones(int(ge.sum()), int)])
+        order = np.lexsort((kind, src))
+        src, kind = src[order], kind[order]
+        sign = np.where(kind == 0, 1.0, -1.0)
+        A_ub = A[src] * sign[:, None]
+        b_ub = np.where(kind == 0, row_ub[src], -row_lb[src])
+    if eq.any():
+        A_eq = A[eq]
+        b_eq = row_lb[eq]
+    return A_ub, b_ub, A_eq, b_eq
 
+
+def _run_highs(
+    c: np.ndarray,
+    c0: float,
+    split: tuple,
+    var_lb: np.ndarray,
+    var_ub: np.ndarray,
+) -> LPResult:
+    A_ub, b_ub, A_eq, b_eq = split
     res = _scipy_linprog(
-        c=lp.c,
-        A_ub=np.array(A_ub_rows) if A_ub_rows else None,
-        b_ub=np.array(b_ub) if b_ub else None,
-        A_eq=np.array(A_eq_rows) if A_eq_rows else None,
-        b_eq=np.array(b_eq) if b_eq else None,
-        bounds=list(zip(lp.var_lb, lp.var_ub)),
+        c=c,
+        A_ub=A_ub,
+        b_ub=b_ub,
+        A_eq=A_eq,
+        b_eq=b_eq,
+        bounds=np.column_stack([var_lb, var_ub]),
         method="highs",
     )
     status = _SCIPY_STATUS.get(res.status, Status.ERROR)
     if status is Status.OPTIMAL:
-        return LPResult(status, np.asarray(res.x), float(res.fun) + lp.c0, res.message)
+        return LPResult(status, np.asarray(res.x), float(res.fun) + c0, res.message)
     return LPResult(status, None, math.inf, res.message)
 
 
+def solve_lp(lp: LinearProgram) -> LPResult:
+    """Solve ``lp`` with scipy's HiGHS backend."""
+    return _run_highs(
+        lp.c, lp.c0, _split_rows(lp.A, lp.row_lb, lp.row_ub), lp.var_lb, lp.var_ub
+    )
+
+
+#: "auto" backend routes an LP to the built-in vectorized simplex while it
+#: stays within this dense-tableau sweet spot, and to HiGHS beyond it.  The
+#: crossover is where one dense refactorization (m^3/3 flops) overtakes
+#: scipy's per-call wrapper overhead (~1.5 ms on typical hardware).
+_AUTO_SIMPLEX_MAX_ROWS = 72
+_AUTO_SIMPLEX_MAX_COLS = 96
+
+
 class IncrementalLPSolver:
-    """LP relaxation engine with a cached matrix form.
+    """LP relaxation engine with a cached matrix form and basis reuse.
 
     Branch-and-bound solves thousands of LPs that differ from the root only
     in variable bounds and appended cut rows.  Rebuilding the symbolic
     problem and re-extracting coefficients per node dominates runtime on
     models like the paper's 1-degree ocean set (241 selection binaries); this
-    class extracts the matrix once and then mutates numpy arrays.
+    class extracts the matrix once, consolidates appended cut rows lazily,
+    and caches the HiGHS eq/ub row split so a node re-solve touches no
+    Python-level row loop at all.
+
+    ``backend`` picks the LP engine per solve: ``"highs"`` (scipy),
+    ``"simplex"`` (the built-in vectorized simplex, which accepts a parent
+    basis and warm-starts dual-simplex style), or ``"auto"`` (simplex while
+    the instance is small enough for its dense tableau to beat scipy's
+    call overhead, HiGHS beyond that).  After every simplex-backed solve the
+    final basis is published on :attr:`last_basis` for the caller to hand to
+    child-node solves.
     """
 
-    def __init__(self, problem: Problem) -> None:
+    def __init__(self, problem: Problem, backend: str = "highs") -> None:
         if not problem.is_linear():
             raise ValueError(f"{problem.name!r} has nonlinear pieces")
+        if backend not in ("highs", "simplex", "auto"):
+            raise ValueError(f"unknown LP backend {backend!r}")
         self._problem = problem
+        self._backend = backend
         self._sign = -1.0 if problem.sense.value == "maximize" else 1.0
         c, c0, A, row_lb, row_ub, var_lb, var_ub = problem.linear_matrix_form()
         self._c = self._sign * c
         self._c0 = self._sign * c0
-        self._rows = [A[i] for i in range(A.shape[0])]
-        self._row_lb = list(row_lb)
-        self._row_ub = list(row_ub)
+        self._blocks: list[np.ndarray] = [np.atleast_2d(A)] if A.size else []
+        self._lb_blocks: list[np.ndarray] = [np.asarray(row_lb, dtype=float)]
+        self._ub_blocks: list[np.ndarray] = [np.asarray(row_ub, dtype=float)]
+        self._num_rows = int(A.shape[0])
         self._base_lb = var_lb
         self._base_ub = var_ub
         self._names = problem.variable_names
         self._col = {n: j for j, n in enumerate(self._names)}
+        self._matrix_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._split_cache: tuple | None = None
+        #: Final basis of the most recent simplex-backed solve (or None).
+        self.last_basis = None
 
     def add_row(self, body, lb: float, ub: float) -> None:
         """Append a (linear) cut row, e.g. an outer-approximation cut."""
@@ -186,12 +242,57 @@ class IncrementalLPSolver:
         row = np.zeros(len(self._names))
         for name, v in coeffs.items():
             row[self._col[name]] = v
-        self._rows.append(row)
-        self._row_lb.append(lb - k)
-        self._row_ub.append(ub - k)
+        self._blocks.append(row[None, :])
+        self._lb_blocks.append(np.array([lb - k]))
+        self._ub_blocks.append(np.array([ub - k]))
+        self._num_rows += 1
+        self._matrix_cache = None
+        self._split_cache = None
 
-    def solve(self, bounds: Mapping[str, tuple[float, float]]) -> Solution:
-        """Solve with per-variable bound overrides (intersected with base)."""
+    def _matrix(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._matrix_cache is None:
+            A = (
+                np.vstack(self._blocks)
+                if self._blocks
+                else np.zeros((0, self._c.size))
+            )
+            row_lb = np.concatenate(self._lb_blocks)
+            row_ub = np.concatenate(self._ub_blocks)
+            self._blocks = [A] if A.size else []
+            self._lb_blocks = [row_lb]
+            self._ub_blocks = [row_ub]
+            self._matrix_cache = (A, row_lb, row_ub)
+        return self._matrix_cache
+
+    def _split(self) -> tuple:
+        if self._split_cache is None:
+            A, row_lb, row_ub = self._matrix()
+            self._split_cache = _split_rows(A, row_lb, row_ub)
+        return self._split_cache
+
+    def _resolve_backend(self) -> str:
+        if self._backend != "auto":
+            return self._backend
+        if (
+            self._num_rows <= _AUTO_SIMPLEX_MAX_ROWS
+            and self._c.size <= _AUTO_SIMPLEX_MAX_COLS
+        ):
+            return "simplex"
+        return "highs"
+
+    def solve(
+        self,
+        bounds: Mapping[str, tuple[float, float]],
+        basis=None,
+    ) -> Solution:
+        """Solve with per-variable bound overrides (intersected with base).
+
+        ``basis`` optionally carries a parent node's final simplex basis;
+        when the simplex backend handles this solve it warm-starts from it
+        (dual-simplex restoration after the bound change) instead of
+        re-running two-phase simplex from artificials.  Reuse hits/misses
+        are recorded under the ``solver_basis_reuse_total`` metric.
+        """
         var_lb = self._base_lb.copy()
         var_ub = self._base_ub.copy()
         for name, (lo, hi) in bounds.items():
@@ -204,24 +305,44 @@ class IncrementalLPSolver:
                     stats=SolveStats(),
                     message=f"crossed bounds on {name}",
                 )
+        backend = self._resolve_backend()
+        stats = SolveStats(lp_solves=1)
+        if backend == "simplex":
+            res = self._solve_simplex(var_lb, var_ub, basis)
+        else:
+            self.last_basis = None
+            res = _run_highs(self._c, self._c0, self._split(), var_lb, var_ub)
+        if basis is not None:
+            telemetry.record_basis_reuse("hit" if res.warm_started else "miss")
+        if res.status is not Status.OPTIMAL:
+            return Solution(res.status, stats=stats, message=res.message)
+        values = {n: float(v) for n, v in zip(self._names, res.x)}
+        obj = self._sign * res.objective
+        return Solution(
+            Status.OPTIMAL, values=values, objective=obj, bound=obj, stats=stats
+        )
+
+    def _solve_simplex(self, var_lb, var_ub, basis) -> LPResult:
+        from repro.minlp.simplex import solve_lp_simplex
+
+        A, row_lb, row_ub = self._matrix()
         lp = LinearProgram(
             c=self._c,
-            A=np.array(self._rows) if self._rows else np.zeros((0, self._c.size)),
-            row_lb=np.array(self._row_lb),
-            row_ub=np.array(self._row_ub),
+            A=A,
+            row_lb=row_lb,
+            row_ub=row_ub,
             var_lb=var_lb,
             var_ub=var_ub,
             c0=self._c0,
             names=self._names,
         )
-        res = solve_lp(lp)
-        stats = SolveStats(lp_solves=1)
-        if res.status is not Status.OPTIMAL:
-            return Solution(res.status, stats=stats, message=res.message)
-        obj = self._sign * res.objective
-        return Solution(
-            Status.OPTIMAL, values=res.values(lp), objective=obj, bound=obj, stats=stats
-        )
+        res = solve_lp_simplex(lp, basis=basis)
+        if res.status in (Status.ITERATION_LIMIT, Status.ERROR):
+            # Numerical trouble in the dense tableau: HiGHS is the safety net.
+            self.last_basis = None
+            return _run_highs(self._c, self._c0, self._split(), var_lb, var_ub)
+        self.last_basis = res.basis
+        return res
 
 
 def solve_problem_lp(problem: Problem) -> Solution:

@@ -23,12 +23,12 @@ make the linearized master a non-relaxation, so it is rejected loudly.
 
 from __future__ import annotations
 
-import itertools
 import math
 
 import numpy as np
 
 from repro.minlp.bnb import BnBOptions, BranchAndBound
+from repro.minlp.cutpool import OACutPool
 from repro.minlp.expr import Expr, VarRef, linearize
 from repro.obs import telemetry
 from repro.obs.trace import span, trace_event
@@ -166,6 +166,7 @@ def solve_minlp_oa(
     rng: np.random.Generator | None = None,
     time_limit: float | None = None,
     x0: dict[str, float] | None = None,
+    cut_pool: OACutPool | None = None,
 ) -> Solution:
     """Solve a convex MINLP with single-tree LP/NLP branch-and-bound.
 
@@ -178,6 +179,14 @@ def solve_minlp_oa(
     prunes against a finite primal bound from node one), and contributes OA
     cuts at the incumbent before the first master solve.  An infeasible or
     useless ``x0`` costs two small NLP solves and is otherwise ignored.
+
+    ``cut_pool`` optionally shares an :class:`OACutPool` across solves:
+    cuts surviving earlier solves on the same model family are preinstalled
+    into this master, and cuts built here stay available to later solves.
+    Without one, a private per-solve pool still dedups repeated
+    linearization points within this tree.  Sharing a pool changes which
+    cuts a master starts with, so callers that promise bit-identical
+    replays must keep it per-solve.
     """
     with span("minlp.oa", problem=problem.name):
         sol = _solve_minlp_oa_impl(
@@ -188,6 +197,7 @@ def solve_minlp_oa(
             rng=rng,
             time_limit=time_limit,
             x0=x0,
+            cut_pool=cut_pool,
         )
         telemetry.record_warm_start(x0 is not None)
         telemetry.record_solve("oa", sol.stats, sol.status.value)
@@ -203,6 +213,7 @@ def _solve_minlp_oa_impl(
     rng: np.random.Generator | None,
     time_limit: float | None,
     x0: dict[str, float] | None,
+    cut_pool: OACutPool | None,
 ) -> Solution:
     opts = options or BnBOptions()
     if time_limit is not None:
@@ -216,6 +227,8 @@ def _solve_minlp_oa_impl(
 
     stats = SolveStats()
     timer = Timer().start()
+    pool = cut_pool if cut_pool is not None else OACutPool()
+    epoch = pool.begin_solve()
 
     # Root relaxation: continuous NLP over the full model.  Its solution
     # seeds the initial linearizations so the first master is meaningful.
@@ -228,11 +241,28 @@ def _solve_minlp_oa_impl(
         return Solution(Status.INFEASIBLE, stats=stats, message="NLP relaxation infeasible")
 
     master = _linear_master(work)
-    cut_counter = itertools.count()
+    installed: set[str] = set()
+
+    def install(cut: tuple[str, Expr, float, float]) -> None:
+        name, body, lb, ub = cut
+        if name not in installed:
+            installed.add(name)
+            master.add_constraint(name, body, lb, ub)
+            stats.cuts_added += 1
+
+    # Reactivate cuts surviving from earlier solves sharing this pool, then
+    # linearize at the root relaxation (pool misses become fresh cuts).
+    reactivated = pool.active_cuts()
+    for cut in reactivated:
+        install(cut)
     for con in nonlin:
-        name, body, lb, ub = _cut_for(con, root.values, f"oa{next(cut_counter)}")
-        master.add_constraint(name, body, lb, ub)
-        stats.cuts_added += 1
+        install(pool.cut_for(con, root.values))
+    trace_event(
+        "oa.cut_pool.master",
+        epoch=epoch,
+        reactivated=len(reactivated),
+        installed=len(installed),
+    )
 
     incumbent: tuple[dict[str, float], float] | None = None
     if x0 is not None:
@@ -255,11 +285,7 @@ def _solve_minlp_oa_impl(
             # Linearize at the incumbent too: the cuts make the first master
             # tight around the warm-start's neighborhood.
             for con in nonlin:
-                name, body, lb, ub = _cut_for(
-                    con, warm.values, f"oa{next(cut_counter)}"
-                )
-                master.add_constraint(name, body, lb, ub)
-                stats.cuts_added += 1
+                install(pool.cut_for(con, warm.values))
 
     def lazy(master_prob: Problem, values: dict[str, float]):
         cuts: list[tuple[str, Expr, float, float]] = []
@@ -276,7 +302,7 @@ def _solve_minlp_oa_impl(
                 cand_values[_OBJ_VAR] = cand_obj
             candidate = (cand_values, cand_obj)
             for con in nonlin:
-                cuts.append(_cut_for(con, sub.values, f"oa{next(cut_counter)}"))
+                cuts.append(pool.cut_for(con, sub.values))
 
         # Guarantee progress: if the master point itself violates any true
         # nonlinear constraint, linearizing there cuts it off (convexity:
@@ -284,7 +310,7 @@ def _solve_minlp_oa_impl(
         # NLP subproblem could let an infeasible point be accepted.
         violated = [c for c in nonlin if c.violation(values) > feas_tol]
         for con in violated:
-            cuts.append(_cut_for(con, values, f"oa{next(cut_counter)}"))
+            cuts.append(pool.cut_for(con, values))
         if violated and candidate is None and sub.status is Status.INFEASIBLE:
             pass  # feasibility cuts above already exclude this assignment's point
         trace_event(
@@ -295,11 +321,14 @@ def _solve_minlp_oa_impl(
         )
         return cuts, candidate
 
-    engine = BranchAndBound(master, "lp", opts, lazy_cuts=lazy, incumbent=incumbent)
+    engine = BranchAndBound(
+        master, "lp", opts, lazy_cuts=lazy, incumbent=incumbent, known_cuts=installed
+    )
     sol = engine.solve()
     stats.merge(sol.stats)
     stats.wall_time = timer.stop()
     sol.stats = stats
+    pool.end_solve(sol.values if sol.status.is_ok else None)
     return _strip_eta(sol, problem, has_eta)
 
 
@@ -320,11 +349,14 @@ def solve_minlp_oa_multitree(
     gap_tol: float = 1e-6,
     nlp_multistart: int = 1,
     rng: np.random.Generator | None = None,
+    cut_pool: OACutPool | None = None,
 ) -> Solution:
     """Solve a convex MINLP by alternating MILP masters and NLP subproblems.
 
     Kept as an algorithmic cross-check for :func:`solve_minlp_oa`; both must
-    agree on convex instances (a test enforces this).
+    agree on convex instances (a test enforces this).  Successive masters in
+    one run share the (given or per-solve) :class:`OACutPool`, so a round
+    revisiting a linearization point re-installs nothing.
     """
     opts = options or BnBOptions()
     work, has_eta = _epigraph_form(problem)
@@ -336,6 +368,8 @@ def solve_minlp_oa_multitree(
     sign = -1.0 if problem.sense is Sense.MAXIMIZE else 1.0
     stats = SolveStats()
     timer = Timer().start()
+    pool = cut_pool if cut_pool is not None else OACutPool()
+    pool.begin_solve()
 
     root = solve_nlp(work, multistart=nlp_multistart, rng=rng)
     stats.merge(root.stats)
@@ -344,14 +378,21 @@ def solve_minlp_oa_multitree(
         return Solution(Status.INFEASIBLE, stats=stats, message="NLP relaxation infeasible")
 
     master = _linear_master(work)
-    cut_counter = itertools.count()
+    installed: set[str] = set()
 
-    def add_cuts_at(point: dict[str, float]) -> None:
-        for con in nonlin:
-            name, body, lb, ub = _cut_for(con, point, f"oa{next(cut_counter)}")
+    def install(cut: tuple[str, Expr, float, float]) -> None:
+        name, body, lb, ub = cut
+        if name not in installed:
+            installed.add(name)
             master.add_constraint(name, body, lb, ub)
             stats.cuts_added += 1
 
+    def add_cuts_at(point: dict[str, float]) -> None:
+        for con in nonlin:
+            install(pool.cut_for(con, point))
+
+    for cut in pool.active_cuts():
+        install(cut)
     add_cuts_at(root.values)
 
     best: Solution | None = None
@@ -399,6 +440,7 @@ def solve_minlp_oa_multitree(
             break
 
     stats.wall_time = timer.stop()
+    pool.end_solve(best.values if best is not None else None)
     if best is None:
         return Solution(
             status if status is Status.INFEASIBLE else Status.ERROR,

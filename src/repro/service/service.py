@@ -41,6 +41,7 @@ from collections import defaultdict
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.minlp.cutpool import OACutPool
 from repro.minlp.solution import Status
 from repro.obs.trace import span
 from repro.service.breaker import BreakerPolicy, CircuitBreaker
@@ -115,6 +116,7 @@ class AllocationService:
         resilience: ResiliencePolicy | None = None,
         chaos=None,  # ChaosPlan | None; annotation-free to avoid an import cycle
         sleeper: Callable[[float], None] = time.sleep,
+        share_cuts: bool = False,
     ) -> None:
         self.cache: SolutionCache[SolveOutcome] = SolutionCache(
             capacity=cache_capacity, ttl=ttl, clock=clock
@@ -127,6 +129,13 @@ class AllocationService:
         self.breaker = (
             CircuitBreaker(resilience.breaker, clock=clock) if resilience else None
         )
+        # Opt-in cross-solve OA cut sharing: one cut pool per model family,
+        # threaded into in-process solves so a re-solve on a family starts
+        # from its surviving linearizations.  Off by default — pooled cuts
+        # make an answer depend on pool history, which trades away the
+        # bit-identical-replay guarantee for latency.
+        self.share_cuts = share_cuts
+        self._cut_pools: dict[str, OACutPool] = defaultdict(OACutPool)
         if chaos is not None:
             from repro.faults.chaos import chaotic_solve
 
@@ -134,7 +143,14 @@ class AllocationService:
         else:
             self._solve = (
                 lambda request, *, x0=None, deadline=None, attempt=0: solve_request(
-                    request, x0=x0, deadline=deadline
+                    request,
+                    x0=x0,
+                    deadline=deadline,
+                    cut_pool=(
+                        self._cut_pools[request.family_key()]
+                        if self.share_cuts
+                        else None
+                    ),
                 )
             )
         # family key -> {fingerprint: total_nodes}; entries go stale when the

@@ -86,12 +86,19 @@ def solve_request(
     *,
     x0: dict[str, float] | None = None,
     deadline: float | None = None,
+    cut_pool=None,
 ) -> SolveOutcome:
     """Solve one request, optionally warm-started and deadline-capped.
 
     ``deadline`` shrinks the solver's wall budget (never loosens it), so a
     per-request deadline terminates the tree search itself rather than
     abandoning a runaway subprocess.
+
+    ``cut_pool`` optionally carries a per-family
+    :class:`repro.minlp.OACutPool` so OA re-solves on the same model family
+    reactivate earlier linearization cuts.  CAUTION: a shared pool makes
+    the solve depend on pool history, which breaks the bit-identical-replay
+    guarantee — only the service's opt-in ``share_cuts`` mode passes one.
     """
     fingerprint = request.fingerprint()
     problem = build_problem(request)
@@ -110,7 +117,9 @@ def solve_request(
     if algorithm == "auto" and Objective(request.objective) is Objective.MAX_MIN:
         algorithm = "nlpbb"
     rng = default_rng(int(fingerprint[:8], 16))
-    sol = solve(problem, options, algorithm=algorithm, rng=rng, x0=x0)
+    sol = solve(
+        problem, options, algorithm=algorithm, rng=rng, x0=x0, cut_pool=cut_pool
+    )
     return _outcome(request, fingerprint, sol, warm_started=x0 is not None)
 
 
