@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench solver-bench bench-check faults-bench service-bench obs-bench chaos examples reports clean
+.PHONY: install test bench solver-bench bench-check dynlb-bench faults-bench service-bench obs-bench chaos examples reports clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -28,6 +28,17 @@ bench-check:
 	HSLB_BENCH_OUT=benchmarks/out/BENCH_solver_micro.fresh.json \
 		PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_solver_micro.py --benchmark-only -q
 	$(PYTHON) benchmarks/check_bench.py --fresh benchmarks/out/BENCH_solver_micro.fresh.json
+
+# Online-rebalancing benchmark + regression gate: run the strategy
+# comparison to a scratch file and diff the deterministic simulated totals
+# (dynlb_total_*) against the committed benchmarks/out/BENCH_dynlb.json.
+# The totals are bit-identical under the keyed RNG, so the gate runs at a
+# tight 1.25x threshold.
+dynlb-bench:
+	HSLB_BENCH_DYNLB_OUT=benchmarks/out/BENCH_dynlb.fresh.json \
+		PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_dynlb.py --benchmark-only -q
+	$(PYTHON) benchmarks/check_bench.py --fresh benchmarks/out/BENCH_dynlb.fresh.json \
+		--baseline benchmarks/out/BENCH_dynlb.json --threshold 1.25
 
 # Fault-injection degradation curves; writes
 # benchmarks/out/faults_degradation.txt and faults_pipeline.txt.

@@ -25,22 +25,49 @@ _HERE = pathlib.Path(__file__).parent
 _BASELINE = _HERE / "out" / "BENCH_solver_micro.json"
 
 #: Benchmarks whose mean regression fails the gate (fnmatch patterns).
+#: ``dynlb_total_*`` are the *simulated* run times of the rebalancing
+#: strategies — deterministic under the keyed-RNG workload, so a mean
+#: regression there is an algorithmic change, never runner noise.
 GATED = (
     "test_lp_pure_python_simplex",
     "test_lp_simplex_warm_restart",
     "test_lp_highs_backend",
     "test_incremental_lp_node_resolve",
     "test_bnb_node_throughput*",
+    "dynlb_total_*",
 )
 
 
 def _load(path: pathlib.Path) -> dict:
+    """Read and validate one benchmark JSON; exit with a clear message.
+
+    Every failure mode a stale checkout can produce — missing file,
+    corrupt JSON, a schema that is not ``{name: {mean: ...}}`` — exits
+    with a one-line diagnosis instead of surfacing as a KeyError later.
+    """
     try:
-        return json.loads(path.read_text())
+        data = json.loads(path.read_text())
     except FileNotFoundError:
-        sys.exit(f"bench-check: missing benchmark file {path}")
+        sys.exit(
+            f"bench-check: missing benchmark file {path}\n"
+            "  (generate a baseline with `make solver-bench` / `make dynlb-bench`,"
+            " or point --fresh/--baseline at an existing file)"
+        )
     except json.JSONDecodeError as exc:
         sys.exit(f"bench-check: {path} is not valid JSON ({exc})")
+    if not isinstance(data, dict):
+        sys.exit(
+            f"bench-check: {path} must map benchmark names to stat records, "
+            f"got {type(data).__name__}"
+        )
+    for name, record in data.items():
+        if not isinstance(record, dict):
+            sys.exit(
+                f"bench-check: {path}: record for {name!r} is "
+                f"{type(record).__name__}, expected an object with a 'mean' field "
+                "— regenerate the file"
+            )
+    return data
 
 
 def _gated(name: str) -> bool:
@@ -56,7 +83,11 @@ def check(fresh: dict, baseline: dict, threshold: float) -> list[str]:
         if not _gated(name):
             continue
         if record is None:
-            failures.append(f"{name}: present in baseline but missing from fresh run")
+            failures.append(
+                f"{name}: present in baseline but missing from fresh run "
+                "(renamed or removed? update the committed baseline alongside "
+                "the benchmark)"
+            )
             continue
         mean = record.get("mean")
         if base_mean is None or mean is None:

@@ -5,6 +5,8 @@ Subcommands:
 * ``hslb optimize``   — run the HSLB pipeline on a CESM configuration and
   print the Table-III-style allocation report;
 * ``hslb fmo``        — run HSLB and the baselines on a synthetic FMO system;
+* ``hslb dynlb``      — online rebalancing: compare the frozen static plan
+  against dynamic/hybrid strategies under drift, noise, and crashes;
 * ``hslb serve``      — allocation service: JSONL requests on stdin, JSONL
   answers on stdout (cached + warm-started);
 * ``hslb batch``      — answer a JSON file of allocation requests in one
@@ -418,6 +420,92 @@ def _build_parser() -> argparse.ArgumentParser:
         help="when the crash hits, as a fraction of the fault-free makespan",
     )
 
+    dyn = sub.add_parser(
+        "dynlb",
+        help="online rebalancing: static vs dynamic strategies under drift",
+    )
+    dyn.add_argument(
+        "--scenario",
+        choices=("cesm", "fmo"),
+        default="cesm",
+        help="which simulator's ground truth feeds the dynamic run",
+    )
+    dyn.add_argument("--nodes", type=int, default=128, help="machine size")
+    dyn.add_argument("--steps", type=int, default=120, help="run length in steps")
+    dyn.add_argument(
+        "--fragments", type=int, default=8, help="fragment count (fmo scenario)"
+    )
+    dyn.add_argument(
+        "--strategies",
+        default="static,hslb,diffusion,sweep,two-level",
+        help="comma-separated strategy list to compare",
+    )
+    dyn.add_argument(
+        "--interval", type=int, default=10, help="rebalance decision cadence"
+    )
+    dyn.add_argument(
+        "--drift",
+        choices=("none", "linear", "step", "walk"),
+        default="linear",
+        help="drift preset applied to the ground-truth curves",
+    )
+    dyn.add_argument(
+        "--drift-rate",
+        type=float,
+        default=0.6,
+        help="total fractional drift over the run (preset-dependent)",
+    )
+    dyn.add_argument(
+        "--noise", type=float, default=0.02, help="log-normal timing noise sigma"
+    )
+    dyn.add_argument(
+        "--imbalance",
+        type=float,
+        default=0.15,
+        help="intra-component imbalance amplitude (static intra policy)",
+    )
+    dyn.add_argument(
+        "--gain-factor",
+        type=float,
+        default=1.2,
+        help="required predicted-gain / migration-cost ratio to migrate",
+    )
+    dyn.add_argument(
+        "--migration-steps",
+        type=int,
+        default=1,
+        help="steps a migration window spans before the move lands",
+    )
+    dyn.add_argument(
+        "--crash-step",
+        type=int,
+        default=None,
+        help="inject a node-group crash at the top of this step",
+    )
+    dyn.add_argument(
+        "--crash-component",
+        default=None,
+        help="which component's group dies (default: the largest)",
+    )
+    dyn.add_argument(
+        "--crash-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of the interrupted step's work the crash burns",
+    )
+    dyn.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report instead of tables",
+    )
+    dyn.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL span trace of the comparison",
+    )
+    _add_fault_args(dyn)
+
     srv = sub.add_parser(
         "serve",
         help="allocation service: JSONL requests in, JSONL answers out",
@@ -805,6 +893,140 @@ def _cmd_fmo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dynlb(args: argparse.Namespace) -> int:
+    from repro.dynlb import (
+        STRATEGIES,
+        DynlbConfig,
+        cesm_workload,
+        compare_strategies,
+        fmo_workload,
+    )
+    from repro.util.tables import format_table
+
+    strategies = tuple(s.strip() for s in args.strategies.split(",") if s.strip())
+    unknown = [s for s in strategies if s not in STRATEGIES]
+    if unknown:
+        _log.error(
+            f"unknown strategies {unknown}; expected a subset of {list(STRATEGIES)}"
+        )
+        return 2
+    if not strategies:
+        _log.error("--strategies must name at least one strategy")
+        return 2
+    plan = None
+    if args.crash_step is not None or args.fail_rate or args.straggler_rate:
+        from repro.faults.plan import FaultPlan
+
+        try:
+            plan = FaultPlan(
+                seed=args.fault_seed,
+                fail_rate=args.fail_rate,
+                straggler_rate=args.straggler_rate,
+                crash_step=args.crash_step,
+                crash_component=(
+                    args.crash_component if args.crash_step is not None else None
+                ),
+                crash_fraction=args.crash_fraction,
+            )
+        except ValueError as exc:
+            _log.error(str(exc))
+            return 2
+        _log.info(f"fault plan: {plan.describe()}")
+    seed = 0 if args.seed is None else args.seed
+    common = dict(
+        total_nodes=args.nodes,
+        steps=args.steps,
+        drift=args.drift,
+        drift_rate=args.drift_rate,
+        noise=args.noise,
+        imbalance=args.imbalance,
+        seed=seed,
+        faults=plan,
+    )
+    try:
+        if args.scenario == "cesm":
+            workload = cesm_workload(**common)
+        else:
+            workload = fmo_workload(fragments=args.fragments, **common)
+        config = DynlbConfig(
+            interval=args.interval,
+            gain_factor=args.gain_factor,
+            migration_steps=args.migration_steps,
+        )
+    except ValueError as exc:
+        _log.error(str(exc))
+        return 2
+    _log.info(workload.describe())
+    with _tracing(args.trace_out):
+        results = compare_strategies(workload, strategies, config, seed=seed)
+    static_total = (
+        results["static"].total_seconds if "static" in results else None
+    )
+    if args.json:
+        import json
+
+        doc = {
+            "workload": workload.name,
+            "seed": int(seed),
+            "nodes": int(args.nodes),
+            "steps": int(args.steps),
+            "drift": args.drift,
+            "drift_rate": float(args.drift_rate),
+            "strategies": {name: r.to_dict() for name, r in results.items()},
+        }
+        if static_total is not None:
+            doc["vs_static_pct"] = {
+                name: 100.0 * (static_total - r.total_seconds) / static_total
+                for name, r in results.items()
+            }
+        if plan is not None:
+            doc["fault_plan"] = plan.describe()
+        print(json.dumps(doc, indent=2))
+        return 0
+    rows = []
+    for name, r in results.items():
+        delta = (
+            "-"
+            if static_total is None or name == "static"
+            else f"{100.0 * (static_total - r.total_seconds) / static_total:+.1f}%"
+        )
+        rows.append(
+            [
+                name,
+                f"{r.total_seconds:.1f}",
+                delta,
+                r.migrations,
+                r.gated,
+                f"{r.migration_seconds:.1f}",
+                r.refits_full,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "strategy",
+                "total s",
+                "vs static",
+                "migrations",
+                "gated",
+                "stall s",
+                "refits",
+            ],
+            rows,
+            title=workload.describe(),
+        )
+    )
+    crashes = {n: r.crash for n, r in results.items() if r.crash is not None}
+    if crashes:
+        any_crash = next(iter(crashes.values()))
+        print(
+            f"\ncrash: {any_crash.component!r} lost {any_crash.lost_nodes} "
+            f"node(s) at step {any_crash.step}; every strategy re-planned on "
+            "the survivors"
+        )
+    return 0
+
+
 def _service_from_args(
     args: argparse.Namespace, *, forced_resilience: bool = False
 ):
@@ -1126,6 +1348,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_optimize(args)
     if args.command == "fmo":
         return _cmd_fmo(args)
+    if args.command == "dynlb":
+        return _cmd_dynlb(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "batch":

@@ -467,6 +467,7 @@ class HSLBOptimizer:
         rng: np.random.Generator | None = None,
         *,
         x0: Mapping[str, float] | None = None,
+        cut_pool=None,
     ) -> tuple[Allocation, Solution]:
         """Solve the allocation MINLP for a machine of ``total_nodes``.
 
@@ -479,7 +480,10 @@ class HSLBOptimizer:
         ``x0`` is an explicit warm-start point handed to every MINLP tier
         (the allocation service passes neighboring cached solutions here);
         with ``config.warm_start`` set and no explicit point, the greedy
-        primal heuristic's allocation is used instead.
+        primal heuristic's allocation is used instead.  ``cut_pool`` shares
+        an :class:`repro.minlp.OACutPool` across successive OA solves —
+        valid only while the fitted curves are unchanged, which is exactly
+        the re-solve-on-survivors and online-rebalance cases.
         """
         models = {
             name: (f.model if isinstance(f, FitResult) else f)
@@ -488,7 +492,7 @@ class HSLBOptimizer:
         with span("hslb.solve", total_nodes=int(total_nodes)) as sp:
             problem = self.app.formulate(models, int(total_nodes))
             allocation, solution, provenance = self._solve_chain(
-                problem, models, int(total_nodes), rng, x0=x0
+                problem, models, int(total_nodes), rng, x0=x0, cut_pool=cut_pool
             )
             sp.set_tag("tier", provenance.tier)
             sp.set_tag("status", solution.status.value)
@@ -522,6 +526,7 @@ class HSLBOptimizer:
         opts: BnBOptions,
         rng: np.random.Generator | None,
         x0: dict[str, float] | None = None,
+        cut_pool=None,
     ) -> Solution:
         if tier == "oa":
             return solve_minlp_oa(
@@ -530,6 +535,7 @@ class HSLBOptimizer:
                 nlp_multistart=self.config.nlp_multistart,
                 rng=rng,
                 x0=x0,
+                cut_pool=cut_pool,
             )
         multistart = self.config.nlp_multistart
         if self.app.requires_nonconvex_solver:
@@ -543,6 +549,7 @@ class HSLBOptimizer:
         total_nodes: int,
         rng: np.random.Generator | None,
         x0: Mapping[str, float] | None = None,
+        cut_pool=None,
     ) -> tuple[Allocation, Solution, SolverProvenance]:
         plan = getattr(self.app, "fault_plan", None)
         budget = self.config.solver_wall_budget
@@ -576,7 +583,9 @@ class HSLBOptimizer:
             opts = self.config.bnb.with_budget(wall_seconds=remaining)
             tick = time.perf_counter()
             try:
-                sol = self._solve_tier(tier, problem, opts, rng, x0=warm)
+                sol = self._solve_tier(
+                    tier, problem, opts, rng, x0=warm, cut_pool=cut_pool
+                )
             except (ValueError, RuntimeError, FloatingPointError) as exc:
                 attempt = SolverAttempt(
                     tier,
@@ -669,11 +678,20 @@ class HSLBOptimizer:
         *,
         execute: bool = True,
         x0: Mapping[str, float] | None = None,
+        cut_pool=None,
     ) -> HSLBResult:
-        """Steps 3–4 when benchmark data/fits already exist."""
+        """Steps 3–4 when benchmark data/fits already exist.
+
+        ``cut_pool`` is shared between the primary solve and any
+        crash-recovery re-solve: the curves are identical across the two
+        (only the node budget shrinks), so pooled OA cuts stay valid and
+        the recovery solve starts from a warmed master.
+        """
         rng = rng or default_rng()
         REGISTRY.counter("hslb_pipeline_runs_total").inc()
-        allocation, solution = self.solve(fits, total_nodes, rng, x0=x0)
+        allocation, solution = self.solve(
+            fits, total_nodes, rng, x0=x0, cut_pool=cut_pool
+        )
         models = {name: f.model for name, f in fits.items()}
         predicted = self.app.predicted_times(models, allocation)
         result = HSLBResult(
@@ -690,7 +708,7 @@ class HSLBOptimizer:
             try:
                 result.execution = self.execute(allocation, rng)
             except NodeCrashError as exc:
-                self._recover_execution(result, models, exc, rng)
+                self._recover_execution(result, models, exc, rng, cut_pool=cut_pool)
         return result
 
     def _recover_execution(
@@ -699,6 +717,7 @@ class HSLBOptimizer:
         models: Mapping[str, PerformanceModel],
         crash: NodeCrashError,
         rng: np.random.Generator | None,
+        cut_pool=None,
     ) -> None:
         """Static re-plan after a mid-run node-group loss.
 
@@ -726,7 +745,7 @@ class HSLBOptimizer:
         )
         problem = self.app.formulate(models, surviving)
         allocation, solution, provenance = self._solve_chain(
-            problem, models, surviving, rng
+            problem, models, surviving, rng, cut_pool=cut_pool
         )
         execution = self.execute(allocation, rng)
         execution.total_time += wasted

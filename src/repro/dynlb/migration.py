@@ -1,0 +1,103 @@
+"""Migration cost: what a rebalance actually charges the run.
+
+Moving nodes between components is not free — ranks checkpoint, the
+incoming group restarts from the checkpoint, domain decompositions are
+rebuilt.  The model is deliberately simple and calibratable:
+
+    cost = fixed_seconds + per_node_seconds * nodes_moved
+
+where ``nodes_moved`` counts only the growth side (a node leaving one
+component and joining another is one move, not two).  The controller
+gates every proposed migration on this cost: a rebalance is applied only
+when the refitted curves predict the makespan saved over the *remaining*
+steps exceeds ``gain_factor`` times the cost.
+
+``calibrate`` ties the two coefficients to an observed step time, the
+natural unit: a full restart costs about half a step, and each moved
+node adds a small slice of one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+
+def _counts(allocation: Mapping[str, int] | object) -> dict[str, int]:
+    items = allocation.items() if hasattr(allocation, "items") else dict(allocation).items()
+    return {str(k): int(v) for k, v in items}
+
+
+@dataclass(frozen=True)
+class MigrationCostModel:
+    """Affine cost of applying one rebalance."""
+
+    fixed_seconds: float = 5.0
+    per_node_seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.fixed_seconds < 0 or self.per_node_seconds < 0:
+            raise ValueError("migration cost coefficients must be >= 0")
+
+    @classmethod
+    def calibrate(
+        cls,
+        step_seconds: float,
+        *,
+        restart_fraction: float = 0.5,
+        per_node_fraction: float = 0.02,
+    ) -> "MigrationCostModel":
+        """Tie the cost to the observed step time (the natural time unit)."""
+        if step_seconds <= 0:
+            raise ValueError("step_seconds must be > 0")
+        return cls(
+            fixed_seconds=restart_fraction * step_seconds,
+            per_node_seconds=per_node_fraction * step_seconds,
+        )
+
+    def nodes_moved(
+        self, old: Mapping[str, int] | object, new: Mapping[str, int] | object
+    ) -> int:
+        """Nodes changing owner: the sum of positive per-component growth."""
+        a, b = _counts(old), _counts(new)
+        return sum(
+            max(b.get(name, 0) - a.get(name, 0), 0) for name in set(a) | set(b)
+        )
+
+    def cost(
+        self, old: Mapping[str, int] | object, new: Mapping[str, int] | object
+    ) -> float:
+        moved = self.nodes_moved(old, new)
+        if moved == 0:
+            return 0.0
+        return self.fixed_seconds + self.per_node_seconds * moved
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One rebalance decision, applied or not — the audit record."""
+
+    step: int
+    old: dict[str, int]
+    new: dict[str, int]
+    predicted_gain: float  # makespan saved over remaining steps, per the models
+    cost: float
+    reason: str  # "interval" | "stale" | "crash"
+    outcome: str  # "applied" | "gated" | "aborted"
+
+    def __post_init__(self) -> None:
+        if self.reason not in ("interval", "stale", "crash"):
+            raise ValueError(f"unknown migration reason {self.reason!r}")
+        if self.outcome not in ("applied", "gated", "aborted"):
+            raise ValueError(f"unknown migration outcome {self.outcome!r}")
+
+    @property
+    def nodes_moved(self) -> int:
+        return MigrationCostModel(0.0, 0.0).nodes_moved(self.old, self.new)
+
+    def describe(self) -> str:
+        return (
+            f"step {self.step}: {self.outcome} ({self.reason}) "
+            f"{self.nodes_moved} node(s), gain {self.predicted_gain:.2f}s "
+            f"vs cost {self.cost:.2f}s"
+        )

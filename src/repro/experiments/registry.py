@@ -7,6 +7,7 @@ from collections.abc import Callable
 from repro.experiments import (
     ablations,
     cost,
+    dynlb_experiments,
     extensions,
     faults,
     fig2,
@@ -51,6 +52,8 @@ EXPERIMENTS: dict[str, Callable[..., object]] = {
     "robustness-outliers": robustness.run_outlier_robustness,
     "faults-degradation": faults.run_fault_degradation,
     "faults-pipeline": faults.run_fault_pipeline,
+    "dynlb-comparison": dynlb_experiments.run_dynlb_comparison,
+    "dynlb-drift-sweep": dynlb_experiments.run_dynlb_drift_sweep,
     "ext-ice-decomposition": extensions.run_ice_decomposition,
     "ext-tasking": extensions.run_tasking_tuning,
     "tuning-cost": cost.run_tuning_cost,

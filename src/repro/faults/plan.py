@@ -15,12 +15,12 @@ Design rules:
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.obs import telemetry
+from repro.util.rng import keyed_rng, stable_key as _stable_key  # noqa: F401  (re-exported)
 
 _KINDS = ("failure", "timeout", "permanent")
 
@@ -73,13 +73,6 @@ class NodeCrashError(FaultInjectionError):
         )
 
 
-def _stable_key(*parts: object) -> int:
-    """Hash arbitrary key parts into a 64-bit int, stable across processes."""
-    text = "\x1f".join(repr(p) for p in parts)
-    digest = hashlib.blake2b(text.encode(), digest_size=8).digest()
-    return int.from_bytes(digest, "big")
-
-
 @dataclass(frozen=True)
 class FaultPlan:
     """What to break, how often, keyed off a single seed.
@@ -113,6 +106,13 @@ class FaultPlan:
         One mid-run node-group loss: for CESM the group hosting a named
         component, for FMO/GDDI a group index, dying ``crash_fraction`` of
         the way through the run.
+    ``crash_step``
+        Dynamic-run variant: the crash fires at the top of this step of a
+        :class:`repro.dynlb.workload.DynamicWorkload` (optionally targeting
+        ``crash_component``; the largest group dies otherwise), and
+        ``crash_fraction`` of the interrupted step's work is lost.  Landing
+        it inside a migration window aborts the in-flight move — the
+        rebalance/fault interplay the dynlb tests pin.
     """
 
     seed: int = 0
@@ -125,6 +125,7 @@ class FaultPlan:
     crash_component: str | None = None
     crash_group: int | None = None
     crash_fraction: float = 0.5
+    crash_step: int | None = None
 
     def __post_init__(self) -> None:
         for name in ("fail_rate", "timeout_rate", "permanent_rate", "straggler_rate"):
@@ -143,11 +144,13 @@ class FaultPlan:
                 raise ValueError(f"unknown solver tier {tier!r}")
         if self.crash_component is not None and self.crash_group is not None:
             raise ValueError("specify crash_component or crash_group, not both")
+        if self.crash_step is not None and self.crash_step < 0:
+            raise ValueError(f"crash_step must be >= 0, got {self.crash_step}")
 
     # -- keyed deterministic draws ----------------------------------------
 
     def _rng(self, *key: object) -> np.random.Generator:
-        return np.random.default_rng((self.seed & 0xFFFFFFFF, _stable_key(*key)))
+        return keyed_rng(self.seed, *key)
 
     def benchmark_fault(
         self, scope: str, nodes: int, attempt: int
@@ -216,4 +219,6 @@ class FaultPlan:
             )
         if self.crash_group is not None:
             parts.append(f"crash=group{self.crash_group}@{self.crash_fraction:.0%}")
+        if self.crash_step is not None:
+            parts.append(f"crash_step={self.crash_step}")
         return f"FaultPlan({', '.join(parts)})"

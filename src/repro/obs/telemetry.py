@@ -50,6 +50,14 @@ def ensure_registered() -> None:
     REGISTRY.counter("service_cache_evictions_total", "capacity evictions of live entries")
     REGISTRY.counter("service_cache_expirations_total", "TTL expirations booked")
     REGISTRY.counter("service_cache_inserts_total", "solution-cache inserts")
+    REGISTRY.counter("dynlb_steps_total", "dynamic-run steps simulated")
+    REGISTRY.counter("dynlb_decisions_total", "rebalance decisions by trigger")
+    REGISTRY.counter("dynlb_migrations_total", "migration outcomes (applied/gated/aborted/crash)")
+    REGISTRY.counter("dynlb_refits_total", "incremental model refits by kind")
+    REGISTRY.counter("dynlb_stale_total", "perf-model staleness flags raised")
+    REGISTRY.counter("dynlb_crash_recoveries_total", "mid-run crash recoveries")
+    REGISTRY.histogram("dynlb_step_seconds", "per-step makespan")
+    REGISTRY.histogram("dynlb_migration_cost_seconds", "charged migration stalls")
 
 
 def record_solve(algorithm: str, stats, status: str) -> None:
@@ -150,3 +158,46 @@ def record_fault(kind: str, stage: str) -> None:
     REGISTRY.counter("faults_injected_total").inc(kind=kind, stage=stage)
     if _TR.enabled:
         _TR.event("fault.injected", kind=kind, stage=stage)
+
+
+def record_dynlb_step(strategy: str, seconds: float) -> None:
+    """One synchronous dynamic-run step finished; ``seconds`` is its makespan."""
+    REGISTRY.counter("dynlb_steps_total").inc(strategy=strategy)
+    REGISTRY.histogram("dynlb_step_seconds").observe(seconds, strategy=strategy)
+
+
+def record_dynlb_decision(strategy: str, trigger: str) -> None:
+    """The controller consulted its strategy (``trigger``: interval/stale)."""
+    REGISTRY.counter("dynlb_decisions_total").inc(strategy=strategy, trigger=trigger)
+    if _TR.enabled:
+        _TR.event("dynlb.decision", strategy=strategy, trigger=trigger)
+
+
+def record_dynlb_migration(strategy: str, outcome: str, cost: float) -> None:
+    """A proposed rebalance was applied, gated, aborted, or crash-forced."""
+    REGISTRY.counter("dynlb_migrations_total").inc(strategy=strategy, outcome=outcome)
+    if cost:
+        REGISTRY.histogram("dynlb_migration_cost_seconds").observe(
+            cost, strategy=strategy
+        )
+    if _TR.enabled:
+        _TR.event("dynlb.migration", strategy=strategy, outcome=outcome, cost=cost)
+
+
+def record_dynlb_refit(kind: str) -> None:
+    """A perf-model update landed (``kind``: scale or full)."""
+    REGISTRY.counter("dynlb_refits_total").inc(kind=kind)
+
+
+def record_dynlb_stale(component: str) -> None:
+    """The refitter flagged one component's model as stale."""
+    REGISTRY.counter("dynlb_stale_total").inc(component=component)
+    if _TR.enabled:
+        _TR.event("dynlb.stale", component=component)
+
+
+def record_dynlb_crash(strategy: str) -> None:
+    """A mid-run node crash was recovered by the rebalance controller."""
+    REGISTRY.counter("dynlb_crash_recoveries_total").inc(strategy=strategy)
+    if _TR.enabled:
+        _TR.event("dynlb.crash_recovery", strategy=strategy)

@@ -8,6 +8,8 @@ seeding convention lives in one place.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 #: Library-wide default seed.  Chosen arbitrarily; fixed so that examples,
@@ -18,6 +20,24 @@ DEFAULT_SEED = 20120427
 def default_rng(seed: int | None = None) -> np.random.Generator:
     """Return a PCG64 generator seeded with ``seed`` (library default if None)."""
     return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
+
+
+def stable_key(*parts: object) -> int:
+    """Hash arbitrary key parts into a 64-bit int, stable across processes.
+
+    The canonical keyed-draw primitive shared by the fault plan and the
+    dynamic-rebalancing workload: draws keyed by the *identity* of an event
+    (component, step, attempt) rather than by call order, so two consumers
+    interleaving their queries in any order observe identical randomness.
+    """
+    text = "\x1f".join(repr(p) for p in parts)
+    digest = hashlib.blake2b(text.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def keyed_rng(seed: int, *key: object) -> np.random.Generator:
+    """A generator deterministically derived from ``seed`` and an event key."""
+    return np.random.default_rng((seed & 0xFFFFFFFF, stable_key(*key)))
 
 
 def spawn_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:

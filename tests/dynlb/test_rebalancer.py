@@ -1,0 +1,135 @@
+"""Rebalancing strategies: conservation, floors, warm starts, cut pooling."""
+
+import pytest
+
+from repro.core.spec import Allocation
+from repro.dynlb.rebalancer import (
+    STRATEGIES,
+    DiffusionRebalancer,
+    HSLBRebalancer,
+    RebalanceContext,
+    StaticRebalancer,
+    SweepRebalancer,
+    TwoLevelRebalancer,
+    make_rebalancer,
+)
+from repro.perf.model import PerformanceModel
+from repro.util.rng import default_rng
+
+_MODELS = {
+    "big": PerformanceModel(a=4000.0, d=2.0),
+    "mid": PerformanceModel(a=1500.0, d=1.0),
+    "small": PerformanceModel(a=500.0, d=0.5),
+}
+
+
+def _ctx(allocation=None, total=48, models=None, min_nodes=None):
+    models = models or dict(_MODELS)
+    allocation = allocation or {"big": 16, "mid": 16, "small": 16}
+    return RebalanceContext(
+        step=0,
+        models=models,
+        allocation=Allocation(allocation),
+        total_nodes=total,
+        min_nodes=min_nodes or {},
+        steps_remaining=10,
+        rng=default_rng(0),
+    )
+
+
+def test_registry_builds_every_strategy():
+    for name in STRATEGIES:
+        assert make_rebalancer(name).name == name
+    with pytest.raises(ValueError, match="unknown rebalancer"):
+        make_rebalancer("magic")
+
+
+def test_static_never_moves():
+    ctx = _ctx()
+    assert dict(StaticRebalancer().propose(ctx).items()) == dict(ctx.allocation.items())
+
+
+def test_diffusion_conserves_nodes_and_helps_the_slow_component():
+    ctx = _ctx()
+    proposal = DiffusionRebalancer().propose(ctx)
+    assert proposal.total() == ctx.allocation.total()
+    # "big" is the bottleneck at a uniform split; diffusion must feed it.
+    assert proposal["big"] > ctx.allocation["big"]
+    assert proposal["small"] < ctx.allocation["small"]
+    before = max(_MODELS[c].time(ctx.allocation[c]) for c in _MODELS)
+    after = max(_MODELS[c].time(proposal[c]) for c in _MODELS)
+    assert after < before
+
+
+def test_diffusion_respects_floors():
+    ctx = _ctx(min_nodes={"small": 10})
+    proposal = DiffusionRebalancer().propose(ctx)
+    assert proposal["small"] >= 10
+
+
+def test_diffusion_two_components_use_a_single_pair():
+    models = {"a": PerformanceModel(a=4000.0), "b": PerformanceModel(a=500.0)}
+    ctx = _ctx(allocation={"a": 10, "b": 10}, total=20, models=models)
+    proposal = DiffusionRebalancer().propose(ctx)
+    assert proposal.total() == 20
+    assert proposal["a"] > proposal["b"]
+
+
+def test_diffusion_validation():
+    with pytest.raises(ValueError, match="eta"):
+        DiffusionRebalancer(eta=0.0)
+
+
+def test_sweep_uses_the_whole_budget_proportionally():
+    ctx = _ctx()
+    proposal = SweepRebalancer().propose(ctx)
+    assert proposal.total() == ctx.total_nodes
+    assert proposal["big"] > proposal["mid"] > proposal["small"]
+    before = max(_MODELS[c].time(ctx.allocation[c]) for c in _MODELS)
+    after = max(_MODELS[c].time(proposal[c]) for c in _MODELS)
+    assert after < before
+
+
+def test_sweep_respects_floors_and_validates():
+    ctx = _ctx(min_nodes={"small": 12})
+    assert SweepRebalancer().propose(ctx)["small"] >= 12
+    with pytest.raises(ValueError, match="passes"):
+        SweepRebalancer(passes=0)
+
+
+def test_hslb_resolve_beats_the_uniform_split():
+    ctx = _ctx()
+    proposal = HSLBRebalancer().propose(ctx)
+    assert proposal.total() <= ctx.total_nodes
+    assert all(proposal[c] >= 1 for c in _MODELS)
+    before = max(_MODELS[c].time(ctx.allocation[c]) for c in _MODELS)
+    after = max(_MODELS[c].time(proposal[c]) for c in _MODELS)
+    assert after < before
+
+
+def test_hslb_cut_pool_reused_only_while_curves_are_unchanged():
+    reb = HSLBRebalancer()
+    reb.propose(_ctx())
+    assert (reb.solves, reb.pool_reuses) == (1, 0)
+    reb.propose(_ctx())  # identical curves: pooled cuts are still valid
+    assert (reb.solves, reb.pool_reuses) == (2, 1)
+    moved = dict(_MODELS)
+    moved["big"] = PerformanceModel(a=4400.0, d=2.2)  # refitter moved the curve
+    reb.propose(_ctx(models=moved))
+    assert (reb.solves, reb.pool_reuses) == (3, 1)
+
+
+def test_two_level_is_hslb_with_self_scheduling_inside():
+    reb = TwoLevelRebalancer()
+    assert isinstance(reb, HSLBRebalancer)
+    assert reb.intra_policy == "self"
+    assert "self" in reb.describe()
+
+
+def test_proposals_respect_a_shrunken_budget():
+    """Crash recovery hands strategies a smaller total; floors still hold."""
+    for name in ("hslb", "diffusion", "sweep"):
+        ctx = _ctx(allocation={"big": 10, "mid": 5, "small": 3}, total=18)
+        proposal = make_rebalancer(name).propose(ctx)
+        assert proposal.total() <= 18
+        assert all(proposal[c] >= 1 for c in _MODELS)
