@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench solver-bench bench-check dynlb-bench faults-bench service-bench obs-bench chaos examples reports clean
+.PHONY: install test bench solver-bench bench-check dynlb-bench faults-bench service-bench asyncserve-bench obs-bench chaos examples reports clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,11 +23,14 @@ solver-bench:
 
 # Regression gate: run the solver micro-benchmarks to a scratch file and
 # fail if any gated (simplex/LP) mean regressed >2x vs. the committed
-# baseline. CI runs this on every push.
+# baseline. CI runs this on every push.  The scratch *.fresh.json is
+# removed after a passing gate so it cannot go stale on disk; pass
+# --update to check_bench.py instead to promote it into the baseline.
 bench-check:
 	HSLB_BENCH_OUT=benchmarks/out/BENCH_solver_micro.fresh.json \
 		PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_solver_micro.py --benchmark-only -q
 	$(PYTHON) benchmarks/check_bench.py --fresh benchmarks/out/BENCH_solver_micro.fresh.json
+	rm -f benchmarks/out/BENCH_solver_micro.fresh.json
 
 # Online-rebalancing benchmark + regression gate: run the strategy
 # comparison to a scratch file and diff the deterministic simulated totals
@@ -39,16 +42,33 @@ dynlb-bench:
 		PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_dynlb.py --benchmark-only -q
 	$(PYTHON) benchmarks/check_bench.py --fresh benchmarks/out/BENCH_dynlb.fresh.json \
 		--baseline benchmarks/out/BENCH_dynlb.json --threshold 1.25
+	rm -f benchmarks/out/BENCH_dynlb.fresh.json
 
 # Fault-injection degradation curves; writes
 # benchmarks/out/faults_degradation.txt and faults_pipeline.txt.
 faults-bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_faults.py --benchmark-only
 
-# Allocation-service throughput/warm-start benchmark; writes
-# benchmarks/out/service_throughput.txt and service_warm_start.txt.
+# Allocation-service throughput/warm-start benchmark + regression gate:
+# Zipf-mix records (throughput, hit rate, warm-start speedup, replay
+# mismatches) diffed against the committed benchmarks/out/BENCH_service.json.
 service-bench:
-	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_service.py --benchmark-only
+	HSLB_BENCH_SERVICE_OUT=benchmarks/out/BENCH_service.fresh.json \
+		PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_service.py --benchmark-only -q
+	$(PYTHON) benchmarks/check_bench.py --fresh benchmarks/out/BENCH_service.fresh.json \
+		--baseline benchmarks/out/BENCH_service.json
+	rm -f benchmarks/out/BENCH_service.fresh.json
+
+# Async serving tier benchmark + regression gate: trace-driven Zipf /
+# diurnal / flash-crowd replay against the sharded coalescing tier vs. the
+# single-process batch baseline; gates throughput/accounting records in
+# benchmarks/out/BENCH_asyncserve.json (lost requests pinned at 0).
+asyncserve-bench:
+	HSLB_BENCH_ASYNCSERVE_OUT=benchmarks/out/BENCH_asyncserve.fresh.json \
+		PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_asyncserve.py --benchmark-only -q
+	$(PYTHON) benchmarks/check_bench.py --fresh benchmarks/out/BENCH_asyncserve.fresh.json \
+		--baseline benchmarks/out/BENCH_asyncserve.json
+	rm -f benchmarks/out/BENCH_asyncserve.fresh.json
 
 # Seeded chaos suite plus a 250-request soak under injected faults; fails
 # if any request is lost. Writes benchmarks/out/chaos_metrics.json.

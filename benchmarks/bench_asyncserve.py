@@ -1,0 +1,177 @@
+"""Async serving tier benchmark: sharded + coalesced vs. one-process batch.
+
+Both contestants answer the *same* keyed Zipf/diurnal/flash trace (so the
+comparison is bit-for-bit fair across runs):
+
+* **baseline** — one :class:`~repro.service.batch.BatchExecutor` over one
+  :class:`AllocationService`, in-process serial solving (``max_workers=0``),
+  fed the trace in arrival-order chunks, with all its dedup/donor/cache
+  machinery live;
+* **tier** — the :class:`AsyncServingTier` via ``TierConfig.for_host()``
+  (4 consistent-hash shards, single-flight coalescing; process workers on
+  multi-core hosts, thread workers on a single core), replaying the trace
+  as one concurrent burst.
+
+The honest physics of the comparison: the branch-and-bound solve is
+GIL-bound CPU work, so the tier's throughput *win* comes from shards
+solving on separate cores.  On a multi-core host the bench asserts a
+strict win; pinned to **one core** (this repo's CI) no architecture can
+beat an already cache+dedup-optimal single process, so the bench asserts
+parity within tolerance instead and records ``asyncserve_cores`` so the
+artifact says which regime produced it.  The structural guarantees are
+asserted unconditionally: zero lost requests, zero sheds at this
+capacity, coalescing actually firing, every answer accounted.
+
+The artifact is ``benchmarks/out/BENCH_asyncserve.json``: throughput for
+both sides, the speedup ratio, tier p50/p99/p999 from the obs histograms,
+and the deterministic accounting records the CI gate pins exactly.
+``HSLB_BENCH_ASYNCSERVE_OUT`` overrides the output path (the gate writes
+a fresh file there rather than clobbering the committed baseline).
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.service.admission import AdmissionPolicy
+from repro.service.batch import BatchExecutor
+from repro.service.frontend import AsyncServingTier, TierConfig
+from repro.service.loadgen import TraceSpec, generate_trace, replay
+from repro.service.service import AllocationService
+
+#: The canonical serving scenario: 12 curve families x 4 node budgets under
+#: a Zipf-1.1 popularity law, one diurnal cycle, two flash crowds — enough
+#: distinct solves (48) that parallel shards matter, enough duplication
+#: (600 events) that coalescing and caching matter.
+_SPEC = TraceSpec(
+    n_requests=600,
+    seed=20120427,
+    n_families=12,
+    budgets=(48, 64, 72, 96),
+    duration=30.0,
+    flash_crowds=2,
+)
+
+#: Arrival-order chunk size for the baseline (a batch per "tick"; dedup and
+#: donor ordering operate within a chunk, the cache across chunks).
+_CHUNK = 150
+
+_RESULTS: dict = {}
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _asyncserve_baseline(request):
+    """Persist the comparison as BENCH_asyncserve.json (dynlb conventions)."""
+    yield
+    out = {}
+    session = getattr(request.config, "_benchmarksession", None)
+    if session is not None:
+        for bench in getattr(session, "benchmarks", []):
+            if "bench_asyncserve" not in str(getattr(bench, "fullname", "")):
+                continue
+            stats = getattr(bench, "stats", None)
+            stats = getattr(stats, "stats", stats)  # unwrap Metadata -> Stats
+            record = {}
+            for key in ("min", "max", "mean", "stddev", "rounds"):
+                value = getattr(stats, key, None)
+                if value is not None:
+                    record[key] = float(value)
+            if record:
+                out[getattr(bench, "name", "bench")] = record
+    for name, value in sorted(_RESULTS.items()):
+        v = float(value)
+        out[f"asyncserve_{name}"] = {
+            "min": v, "max": v, "mean": v, "stddev": 0.0, "rounds": 1,
+        }
+    if not out:
+        return
+    override = os.environ.get("HSLB_BENCH_ASYNCSERVE_OUT")
+    if override:
+        path = pathlib.Path(override)
+    else:
+        path = pathlib.Path(__file__).parent / "out" / "BENCH_asyncserve.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(f"[baseline saved to {path}]")
+
+
+def _run_baseline(trace) -> float:
+    """Single-process BatchExecutor over the trace, chunked; returns seconds."""
+    executor = BatchExecutor(
+        AllocationService(cache_capacity=256), max_pending=len(trace) + 1
+    )
+    requests = [event.request for event in trace]
+    start = time.perf_counter()
+    for lo in range(0, len(requests), _CHUNK):
+        responses = executor.run(requests[lo:lo + _CHUNK])
+        assert all(r.ok for r in responses)
+    return time.perf_counter() - start
+
+
+def test_asyncserve_tier_vs_batch(benchmark):
+    """Sharded async tier vs. the one-process batch executor, same trace."""
+    trace = generate_trace(_SPEC)
+    cores = _cores()
+
+    baseline_seconds = _run_baseline(trace)
+    baseline_rps = len(trace) / baseline_seconds
+
+    def serve():
+        tier = AsyncServingTier(
+            TierConfig.for_host(
+                cores,
+                admission=AdmissionPolicy(max_pending=2 * len(trace)),
+            )
+        )
+        return replay(tier, trace, speed=0.0)
+
+    report = benchmark.pedantic(serve, rounds=1, iterations=1)
+    snap = report.snapshot()
+
+    # Accounting invariants: every event answered, none lost or shed.
+    assert snap["lost"] == 0
+    assert snap["shed"] == 0
+    assert snap["errors"] == 0
+    assert snap["answered"] == _SPEC.n_requests
+    # Coalescing must actually fire on a burst this duplicate-heavy.
+    assert snap["coalesce"]["riders"] > 0
+
+    speedup = snap["throughput_rps"] / baseline_rps
+    if cores > 1:
+        # Shards on separate cores must beat the serial baseline outright.
+        assert speedup > 1.0, (
+            f"tier ({snap['throughput_rps']:.0f} rps, {cores} cores) failed "
+            f"to beat the single-process baseline ({baseline_rps:.0f} rps)"
+        )
+    else:
+        # One core: no parallel win is physically possible; the tier must
+        # hold parity (its coalescing/cache path must not cost throughput).
+        assert speedup > 0.7, (
+            f"tier ({snap['throughput_rps']:.0f} rps) fell more than 30% "
+            f"behind the single-core baseline ({baseline_rps:.0f} rps)"
+        )
+
+    _RESULTS.update(
+        throughput_rps=snap["throughput_rps"],
+        baseline_rps=baseline_rps,
+        speedup=speedup,
+        p50=snap["p50"],
+        p99=snap["p99"],
+        p999=snap["p999"],
+        lost_requests=snap["lost"],
+        answered=snap["answered"],
+        coalesce_rate=snap["coalesce"]["coalesce_rate"],
+        cores=cores,
+    )
+    benchmark.extra_info["sources"] = snap["sources"]
+    benchmark.extra_info["speedup"] = round(speedup, 2)

@@ -17,6 +17,9 @@ budgets) and pin the service-layer claims:
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
 import time
 
 import numpy as np
@@ -126,10 +129,42 @@ def render(result: dict) -> str:
     return "\n".join(lines)
 
 
-def test_s1_service_throughput(benchmark, save_report, save_json):
+def _save_records(result: dict) -> None:
+    """Persist gate-schema records as BENCH_service.json.
+
+    Same ``{name: {mean, ...}}`` shape as the solver/dynlb baselines, so
+    ``check_bench.py`` can diff throughput-flavoured records (gated in the
+    "higher is better" direction) alongside the wall-time ones.
+    ``HSLB_BENCH_SERVICE_OUT`` points the writer at a scratch file.
+    """
+    records = {
+        "service_throughput_rps": result["throughput_rps"],
+        "service_speedup": result["speedup"],
+        "service_hit_rate": result["hit_rate"],
+        "service_warm_start_speedup": result["warm_start_speedup"],
+        "service_replay_mismatches": float(result["replay_mismatches"]),
+        "service_mean_latency": result["mean_latency"],
+        "service_p95_latency": result["p95_latency"],
+        "service_distinct": float(result["distinct"]),
+    }
+    out = {
+        name: {"min": v, "max": v, "mean": v, "stddev": 0.0, "rounds": 1}
+        for name, v in sorted(records.items())
+    }
+    override = os.environ.get("HSLB_BENCH_SERVICE_OUT")
+    if override:
+        path = pathlib.Path(override)
+    else:
+        path = pathlib.Path(__file__).parent / "out" / "BENCH_service.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(f"[baseline saved to {path}]")
+
+
+def test_s1_service_throughput(benchmark, save_report):
     result = benchmark.pedantic(run_service_benchmark, rounds=1, iterations=1)
     save_report("service_throughput", render(result))
-    save_json("service", result)
+    _save_records(result)
     assert result["all_ok"]
     # The headline service claim: >= 5x throughput on the Zipf mix.
     assert result["speedup"] >= 5.0, f"only {result['speedup']:.1f}x"

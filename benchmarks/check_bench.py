@@ -1,16 +1,24 @@
-"""Benchmark regression gate: fresh timings vs. the committed baseline.
+"""Benchmark regression gate: fresh numbers vs. the committed baseline.
 
-``make bench-check`` runs the solver micro-benchmarks with ``HSLB_BENCH_OUT``
-pointed at a scratch file, then invokes this script to diff that fresh file
-against the committed ``benchmarks/out/BENCH_solver_micro.json``.  The gate
-fails (exit 1) when any *gated* benchmark's mean regresses by more than the
-threshold (default 2x); everything else is reported informationally, because
-end-to-end solves and fitting throughput are too noisy on shared CI runners
-to gate hard.
+``make bench-check`` (and the ``dynlb-bench`` / ``service-bench`` /
+``asyncserve-bench`` targets) run a benchmark with its ``HSLB_BENCH_*_OUT``
+env var pointed at a ``*.fresh.json`` scratch file, then invoke this script
+to diff that fresh file against the committed baseline.  The gate fails
+(exit 1) when any *gated* record regresses past its threshold; everything
+else is reported informationally, because end-to-end wall times are too
+noisy on shared CI runners to gate hard.
 
-Gated keys are the solver hot path this repo optimizes deliberately — the
-pure-python simplex, warm restarts, the incremental LP resolve, and B&B node
-throughput.  A >2x mean regression there is a code problem, not noise.
+Each gate rule carries a **direction** — ``lower`` for records where small
+is good (timings, latencies, lost requests) and ``higher`` for records
+where large is good (throughput, hit rates, speedups) — and an optional
+per-record threshold overriding the CLI default, so deterministic records
+(keyed-RNG simulated seconds, request accounting) gate tight while wall
+times gate loose.
+
+``--update`` promotes the fresh file to the committed baseline (after
+printing the comparison) and deletes the scratch file, so accepted perf
+changes don't leave stale ``*.fresh.json`` files rotting in
+``benchmarks/out/``.
 """
 
 from __future__ import annotations
@@ -20,21 +28,54 @@ import fnmatch
 import json
 import pathlib
 import sys
+from dataclasses import dataclass
 
 _HERE = pathlib.Path(__file__).parent
 _BASELINE = _HERE / "out" / "BENCH_solver_micro.json"
 
-#: Benchmarks whose mean regression fails the gate (fnmatch patterns).
-#: ``dynlb_total_*`` are the *simulated* run times of the rebalancing
-#: strategies — deterministic under the keyed-RNG workload, so a mean
-#: regression there is an algorithmic change, never runner noise.
+
+@dataclass(frozen=True)
+class GateRule:
+    """One gated record family: pattern, direction, optional threshold."""
+
+    pattern: str
+    direction: str = "lower"  # "lower" = small is good, "higher" = large is
+    threshold: float | None = None  # None -> the CLI --threshold default
+
+
+#: Records whose regression fails the gate (first matching rule wins).
+#:
+#: * solver micro-benchmarks — the hot path this repo optimizes
+#:   deliberately; a >2x wall-time regression is a code problem, not noise;
+#: * ``dynlb_total_*`` — *simulated* seconds under the keyed-RNG workload,
+#:   deterministic, so a regression is an algorithmic change;
+#: * ``service_*`` — the allocation-service Zipf-mix records; the
+#:   throughput-flavoured ones gate in the "higher" direction, and
+#:   ``service_replay_mismatches`` pins bit-identical replay at exactly 0;
+#: * ``asyncserve_*`` — the async tier vs. batch baseline; accounting
+#:   records (lost/answered) are deterministic and gate tight, wall-time
+#:   ratios gate loose because single-core runners sit near parity.
 GATED = (
-    "test_lp_pure_python_simplex",
-    "test_lp_simplex_warm_restart",
-    "test_lp_highs_backend",
-    "test_incremental_lp_node_resolve",
-    "test_bnb_node_throughput*",
-    "dynlb_total_*",
+    GateRule("test_lp_pure_python_simplex"),
+    GateRule("test_lp_simplex_warm_restart"),
+    GateRule("test_lp_highs_backend"),
+    GateRule("test_incremental_lp_node_resolve"),
+    GateRule("test_bnb_node_throughput*"),
+    GateRule("dynlb_total_*"),
+    GateRule("service_throughput_rps", "higher", 3.0),
+    GateRule("service_speedup", "higher", 2.0),
+    GateRule("service_hit_rate", "higher", 1.2),
+    GateRule("service_warm_start_speedup", "higher", 1.5),
+    GateRule("service_replay_mismatches", "lower", 1.0),
+    GateRule("asyncserve_throughput_rps", "higher", 2.0),
+    GateRule("asyncserve_baseline_rps", "higher", 2.0),
+    GateRule("asyncserve_speedup", "higher", 2.0),
+    GateRule("asyncserve_lost_requests", "lower", 1.0),
+    GateRule("asyncserve_answered", "higher", 1.01),
+    GateRule("asyncserve_coalesce_rate", "higher", 1.5),
+    GateRule("asyncserve_p50", "lower", 3.0),
+    GateRule("asyncserve_p99", "lower", 3.0),
+    GateRule("asyncserve_p999", "lower", 3.0),
 )
 
 
@@ -70,8 +111,29 @@ def _load(path: pathlib.Path) -> dict:
     return data
 
 
-def _gated(name: str) -> bool:
-    return any(fnmatch.fnmatch(name, pat) for pat in GATED)
+def _rule_for(name: str) -> GateRule | None:
+    for rule in GATED:
+        if fnmatch.fnmatch(name, rule.pattern):
+            return rule
+    return None
+
+
+def _regression(mean: float, base: float, direction: str) -> float:
+    """How many times worse ``mean`` is than ``base`` (1.0 = unchanged).
+
+    For ``lower`` direction that is ``mean/base``; for ``higher`` it is
+    ``base/mean``.  A zero on the good side of either ratio means "cannot
+    regress from here" and reports 1.0; a zero on the bad side (e.g. lost
+    requests appearing over a 0 baseline, throughput collapsing to 0)
+    reports infinity.
+    """
+    if direction == "higher":
+        if base <= 0:
+            return 1.0
+        return float("inf") if mean <= 0 else base / mean
+    if base <= 0:
+        return 1.0 if mean <= 0 else float("inf")
+    return mean / base
 
 
 def check(fresh: dict, baseline: dict, threshold: float) -> list[str]:
@@ -80,7 +142,8 @@ def check(fresh: dict, baseline: dict, threshold: float) -> list[str]:
     for name in sorted(baseline):
         base_mean = baseline[name].get("mean")
         record = fresh.get(name)
-        if not _gated(name):
+        rule = _rule_for(name)
+        if rule is None:
             continue
         if record is None:
             failures.append(
@@ -92,20 +155,32 @@ def check(fresh: dict, baseline: dict, threshold: float) -> list[str]:
         mean = record.get("mean")
         if base_mean is None or mean is None:
             continue
-        ratio = mean / base_mean if base_mean > 0 else float("inf")
-        verdict = "FAIL" if ratio > threshold else "ok"
+        limit = rule.threshold if rule.threshold is not None else threshold
+        regression = _regression(mean, base_mean, rule.direction)
+        verdict = "FAIL" if regression > limit else "ok"
+        arrow = "v" if rule.direction == "lower" else "^"
         print(
-            f"[{verdict}] {name}: {base_mean * 1e3:.3f} ms -> {mean * 1e3:.3f} ms "
-            f"({ratio:.2f}x)"
+            f"[{verdict}] {name} ({arrow}): {base_mean:.6g} -> {mean:.6g} "
+            f"({regression:.2f}x worse, limit {limit:.2f}x)"
         )
-        if ratio > threshold:
+        if regression > limit:
             failures.append(
-                f"{name}: mean {mean * 1e3:.3f} ms is {ratio:.2f}x the baseline "
-                f"{base_mean * 1e3:.3f} ms (threshold {threshold:.1f}x)"
+                f"{name}: mean {mean:.6g} is {regression:.2f}x worse than the "
+                f"baseline {base_mean:.6g} "
+                f"({rule.direction} is better, threshold {limit:.2f}x)"
             )
     for name in sorted(set(fresh) - set(baseline)):
-        print(f"[new ] {name}: {fresh[name].get('mean', 0.0) * 1e3:.3f} ms (no baseline)")
+        print(f"[new ] {name}: {fresh[name].get('mean', 0.0):.6g} (no baseline)")
     return failures
+
+
+def update_baseline(fresh: pathlib.Path, baseline: pathlib.Path) -> None:
+    """Promote the fresh file to the baseline and drop the scratch file."""
+    baseline.parent.mkdir(parents=True, exist_ok=True)
+    baseline.write_text(fresh.read_text())
+    if fresh.resolve() != baseline.resolve():
+        fresh.unlink()
+    print(f"bench-check: baseline {baseline} updated; removed {fresh}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -114,7 +189,7 @@ def main(argv: list[str] | None = None) -> int:
         "--fresh",
         type=pathlib.Path,
         required=True,
-        help="benchmark JSON produced by the fresh run (via HSLB_BENCH_OUT)",
+        help="benchmark JSON produced by the fresh run (via HSLB_BENCH_*_OUT)",
     )
     parser.add_argument(
         "--baseline",
@@ -126,10 +201,24 @@ def main(argv: list[str] | None = None) -> int:
         "--threshold",
         type=float,
         default=2.0,
-        help="maximum allowed mean ratio fresh/baseline for gated keys",
+        help="default allowed regression factor for gated records without "
+        "a per-record threshold",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="promote the fresh file to the committed baseline (after "
+        "printing the comparison) and delete the scratch file",
     )
     args = parser.parse_args(argv)
-    failures = check(_load(args.fresh), _load(args.baseline), args.threshold)
+    if args.update and not args.baseline.exists():
+        baseline = {}  # first-time promotion: nothing to diff against yet
+    else:
+        baseline = _load(args.baseline)
+    failures = check(_load(args.fresh), baseline, args.threshold)
+    if args.update:
+        update_baseline(args.fresh, args.baseline)
+        return 0
     if failures:
         print("\nbench-check FAILED:", file=sys.stderr)
         for line in failures:

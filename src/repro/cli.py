@@ -519,6 +519,42 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a JSONL span trace of the serving session",
     )
+    tier = srv.add_argument_group("async tier (hslb serve --async)")
+    tier.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="serve through the sharded asyncio tier (consistent-hash "
+        "cache shards, single-flight coalescing, tiered admission)",
+    )
+    tier.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="cache shards on the consistent-hash ring (async tier)",
+    )
+    tier.add_argument(
+        "--worker-mode",
+        choices=("auto", "thread", "process", "inline"),
+        default="auto",
+        help="how shards solve: 'process' forks one solver per shard "
+        "(parallel on multi-core hosts), 'thread' keeps solves in-process "
+        "(best on one core), 'inline' is deterministic but blocks the "
+        "loop; 'auto' picks by host core count",
+    )
+    tier.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="tier-wide in-flight limit before admission starts degrading "
+        "and shedding by priority class (async tier)",
+    )
+    tier.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable single-flight coalescing of identical in-flight "
+        "requests (async tier)",
+    )
 
     bat = sub.add_parser(
         "batch", help="answer a JSON file of allocation requests in one batch"
@@ -1047,6 +1083,8 @@ def _service_from_args(
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import serve_loop
 
+    if args.use_async:
+        return _cmd_serve_async(args)
     try:
         service = _service_from_args(args)
     except ValueError as exc:
@@ -1058,6 +1096,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     _log.info(f"served {served} request(s)")
     print(service.metrics.render(), file=sys.stderr)
+    return 0
+
+
+def _cmd_serve_async(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import (
+        AdmissionPolicy,
+        AsyncServingTier,
+        TierConfig,
+        serve_stdio,
+    )
+
+    try:
+        resilience, chaos = _resilience_from_args(args)
+        if chaos is not None:
+            _log.warning("chaos injection is not wired into the async tier")
+        common = dict(
+            shards=args.shards,
+            coalesce=not args.no_coalesce,
+            admission=AdmissionPolicy(max_pending=args.max_pending),
+            cache_capacity=args.cache_capacity,
+            ttl=args.ttl,
+            warm_start=not args.no_warm_start,
+            resilience=resilience,
+        )
+        if args.worker_mode == "auto":
+            config = TierConfig.for_host(**common)
+        else:
+            config = TierConfig(worker_mode=args.worker_mode, **common)
+    except ValueError as exc:
+        _log.error(str(exc))
+        return 2
+    tier = AsyncServingTier(config)
+    with _tracing(args.trace_out):
+        served = serve_stdio(
+            tier, sys.stdin, sys.stdout, deadline=args.deadline
+        )
+    _log.info(f"served {served} request(s)")
+    print(json.dumps(tier.snapshot(), indent=2), file=sys.stderr)
     return 0
 
 

@@ -26,6 +26,14 @@ DEFAULT_BUCKETS = (
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
 )
 
+#: Quantiles every histogram exports alongside its buckets.  p999 is the
+#: tail the serving tier's latency SLO is stated in.
+EXPORTED_QUANTILES = (0.5, 0.99, 0.999)
+
+#: Raw observations retained per label key for exact quantiles; beyond
+#: this the quantile falls back to in-bucket linear interpolation.
+EXACT_SAMPLE_CAP = 1024
+
 _LabelKey = tuple[tuple[str, str], ...]
 
 
@@ -123,6 +131,7 @@ class Histogram(Metric):
         self._counts: dict[_LabelKey, list[int]] = {}
         self._sums: dict[_LabelKey, float] = {}
         self._totals: dict[_LabelKey, int] = {}
+        self._samples: dict[_LabelKey, list[float]] = {}
 
     def observe(self, value: float, **labels: str) -> None:
         key = _label_key(labels)
@@ -132,9 +141,13 @@ class Histogram(Metric):
                 counts = self._counts[key] = [0] * (len(self.buckets) + 1)
                 self._sums[key] = 0.0
                 self._totals[key] = 0
+                self._samples[key] = []
             counts[bisect.bisect_left(self.buckets, value)] += 1
             self._sums[key] += value
             self._totals[key] += 1
+            retained = self._samples[key]
+            if len(retained) < EXACT_SAMPLE_CAP:
+                retained.append(value)
 
     def count(self, **labels: str) -> int:
         return self._totals.get(_label_key(labels), 0)
@@ -142,10 +155,53 @@ class Histogram(Metric):
     def sum(self, **labels: str) -> float:
         return self._sums.get(_label_key(labels), 0.0)
 
+    def quantile(self, q: float, **labels: str) -> float:
+        """Quantile estimate: exact on small samples, interpolated after.
+
+        While a label key has seen no more than :data:`EXACT_SAMPLE_CAP`
+        observations, every one is still retained and the result is the
+        interpolated order statistic — exact tail percentiles (p999) on
+        small counts.  Past the cap, the estimate interpolates linearly
+        inside the cumulative bucket covering the target rank.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        key = _label_key(labels)
+        with self._lock:
+            total = self._totals.get(key, 0)
+            if total == 0:
+                return 0.0
+            retained = self._samples.get(key, [])
+            if total <= len(retained):
+                retained = sorted(retained)
+                pos = q * (total - 1)
+                lo = int(pos)
+                hi = min(lo + 1, total - 1)
+                return retained[lo] + (retained[hi] - retained[lo]) * (pos - lo)
+            target = q * total
+            seen = 0
+            lower = 0.0
+            for bound, c in zip(self.buckets, self._counts[key]):
+                if seen + c >= target and c:
+                    return lower + (bound - lower) * ((target - seen) / c)
+                seen += c
+                lower = bound
+            return float("inf")  # landed in the overflow bucket
+
     def samples(self) -> Iterator[tuple[str, _LabelKey, float]]:
-        """Prometheus-shaped samples: cumulative buckets, then sum/count."""
+        """Prometheus-shaped samples: quantiles, cumulative buckets, sum/count.
+
+        The quantile rows (summary-style ``{quantile="0.999"}`` labels)
+        carry the exact-or-interpolated estimates of :meth:`quantile`, so a
+        scrape reports tail latency without the consumer re-deriving it
+        from buckets.
+        """
         for key in sorted(self._counts):
             counts = self._counts[key]
+            for q in EXPORTED_QUANTILES:
+                yield self.name, key + (("quantile", repr(q)),), self.quantile(
+                    q, **dict(key)
+                )
             running = 0
             for bound, c in zip(self.buckets, counts):
                 running += c
@@ -160,6 +216,7 @@ class Histogram(Metric):
             self._counts.clear()
             self._sums.clear()
             self._totals.clear()
+            self._samples.clear()
 
 
 class MetricsRegistry:

@@ -23,14 +23,31 @@ Layers (each its own module, composable in isolation):
 * :mod:`~repro.service.batch`      — dedup, donor ordering, supervised
   process fan-out, deadlines, admission backpressure;
 * :mod:`~repro.service.server`     — the ``repro serve`` JSONL loop;
+* :mod:`~repro.service.sharding`   — consistent-hash ring placing request
+  families onto cache shards;
+* :mod:`~repro.service.coalesce`   — single-flight coalescing of identical
+  in-flight requests;
+* :mod:`~repro.service.admission`  — tiered admission control (accept /
+  degrade / shed by priority class);
+* :mod:`~repro.service.frontend`   — the asyncio serving tier and its JSONL
+  stream transport (``hslb serve --async``);
+* :mod:`~repro.service.loadgen`    — trace-driven load generation (Zipf +
+  diurnal + flash-crowd shapes) and async replay;
 * :mod:`~repro.service.metrics`    — counters/histograms and their snapshot;
 * :mod:`~repro.service.errors`     — typed failures (timeout, overload,
   rejection, worker crash/hang, restart-budget exhaustion).
 """
 
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+    ClassThresholds,
+)
 from repro.service.batch import BatchExecutor
 from repro.service.breaker import BreakerPolicy, CircuitBreaker
 from repro.service.cache import CacheStats, SolutionCache
+from repro.service.coalesce import FlightStats, SingleFlight
 from repro.service.errors import (
     RestartBudgetError,
     ServiceError,
@@ -41,12 +58,28 @@ from repro.service.errors import (
     WorkerCrashError,
     WorkerHangError,
 )
+from repro.service.frontend import (
+    AsyncServingTier,
+    TierConfig,
+    run_requests,
+    serve_stdio,
+    serve_stream,
+)
+from repro.service.loadgen import (
+    ReplayReport,
+    TraceEvent,
+    TraceSpec,
+    generate_trace,
+    replay,
+    replay_async,
+)
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.request import ComponentSpec, SolveRequest
 from repro.service.response import ServiceResponse
 from repro.service.retry import RetryPolicy
 from repro.service.server import serve_loop
 from repro.service.service import AllocationService, ResiliencePolicy
+from repro.service.sharding import HashRing
 from repro.service.solver import SolveOutcome, greedy_outcome, solve_request
 from repro.service.supervisor import (
     InlineExecutor,
@@ -55,15 +88,23 @@ from repro.service.supervisor import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
     "AllocationService",
+    "AsyncServingTier",
     "BatchExecutor",
     "BreakerPolicy",
     "CacheStats",
     "CircuitBreaker",
+    "ClassThresholds",
     "ComponentSpec",
+    "FlightStats",
+    "HashRing",
     "InlineExecutor",
     "LatencyHistogram",
     "ResiliencePolicy",
+    "ReplayReport",
     "RestartBudgetError",
     "RetryPolicy",
     "ServiceError",
@@ -73,14 +114,24 @@ __all__ = [
     "ServiceRequestError",
     "ServiceResponse",
     "ServiceTimeoutError",
+    "SingleFlight",
     "SolutionCache",
     "SolveOutcome",
     "SolveRequest",
     "SupervisedWorkerPool",
+    "TierConfig",
+    "TraceEvent",
+    "TraceSpec",
     "WorkerCrashError",
     "WorkerHangError",
     "WorkerHealth",
+    "generate_trace",
     "greedy_outcome",
+    "replay",
+    "replay_async",
+    "run_requests",
     "serve_loop",
+    "serve_stdio",
+    "serve_stream",
     "solve_request",
 ]

@@ -1,0 +1,124 @@
+"""Single-flight request coalescing for the async serving tier.
+
+Identical requests cluster in time — a popular configuration is asked for
+by many clients at once, and a cache *miss* on it is exactly when the solve
+is expensive.  Without coalescing, N concurrent identical misses launch N
+identical solves; the cache only helps the requests that arrive after the
+first solve finishes.  Single-flight closes that window: the first miss
+becomes the **leader** and runs the solve; every identical request that
+arrives while it is in flight becomes a **rider** that awaits the leader's
+future and shares its answer.  N identical in-flight requests perform
+exactly one solve — an invariant the test suite pins.
+
+Sharing is safe here for the same reason caching is: solves are
+fingerprint-seeded and deterministic, so the leader's answer *is* the
+answer every rider would have computed.  Failures are shared too — if the
+leader's solve raises, every rider sees the same exception (they would
+have hit it themselves), but the flight is cleared so the *next* arrival
+starts fresh instead of inheriting a stale failure.
+
+A cancelled leader does not strand its riders with a ``CancelledError``
+that was never theirs: leadership is handed to the exception handler,
+which marks the flight cancelled so riders re-enter ``run`` and the first
+of them becomes the new leader.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Awaitable, Callable
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import REGISTRY
+
+
+@dataclass
+class FlightStats:
+    """Coalescing outcomes since construction (mirrored into the registry)."""
+
+    leaders: int = 0
+    riders: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.leaders + self.riders
+
+    @property
+    def coalesce_rate(self) -> float:
+        """Fraction of entries that rode an existing flight."""
+        return self.riders / self.total if self.total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "leaders": self.leaders,
+            "riders": self.riders,
+            "coalesce_rate": self.coalesce_rate,
+        }
+
+
+@dataclass
+class SingleFlight:
+    """Coalesce concurrent calls with equal keys onto one execution."""
+
+    stats: FlightStats = field(default_factory=FlightStats)
+
+    def __post_init__(self) -> None:
+        self._flights: dict[str, asyncio.Future] = {}
+
+    def in_flight(self, key: str) -> bool:
+        """True when a leader is currently executing ``key``."""
+        return key in self._flights
+
+    async def run(self, key: str, fn: Callable[[], Awaitable]):
+        """Run ``fn`` once per concurrent ``key``; everyone gets its result.
+
+        The leader executes ``fn`` and resolves the shared future; riders
+        await it.  The flight is removed before the future resolves, so a
+        caller arriving after completion starts a fresh flight (coalescing
+        is for *in-flight* duplicates; completed answers are the cache's
+        job, not ours).
+        """
+        while True:
+            existing = self._flights.get(key)
+            if existing is not None:
+                self.stats.riders += 1
+                REGISTRY.counter("service_coalesced_total").inc(outcome="rider")
+                result = await asyncio.shield(existing)
+                if result is _CANCELLED:
+                    # The leader was cancelled out from under us; compete to
+                    # lead a fresh flight rather than failing N riders for
+                    # one caller's cancellation.
+                    continue
+                return result
+
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._flights[key] = future
+            self.stats.leaders += 1
+            REGISTRY.counter("service_coalesced_total").inc(outcome="leader")
+            try:
+                result = await fn()
+            except asyncio.CancelledError:
+                self._flights.pop(key, None)
+                future.set_result(_CANCELLED)
+                raise
+            except BaseException as exc:
+                self._flights.pop(key, None)
+                future.set_exception(exc)
+                # The riders consume the exception; if there are none, keep
+                # the event loop's unretrieved-exception warning quiet.
+                future.exception()
+                raise
+            else:
+                self._flights.pop(key, None)
+                future.set_result(result)
+                return result
+
+
+class _Cancelled:
+    """Sentinel: the leader was cancelled; riders should re-run."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return "<flight cancelled>"
+
+
+_CANCELLED = _Cancelled()

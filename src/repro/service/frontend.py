@@ -1,0 +1,610 @@
+"""The asyncio serving tier: sharded caches, coalescing, tiered admission.
+
+This is the front end the ROADMAP's "millions of users" story needs — the
+two-level split of the dynlb subsystem applied to serving instead of
+compute.  **Coarse level**: a consistent-hash ring places every request's
+*family* (curve set, budget removed) onto one of N shards, so all budgets
+of a family share one shard's cache, warm-start donor pool, and OA cut
+pool — family locality makes warm starts free instead of a cross-process
+lottery.  **Fine level**: within a shard, requests are coalesced
+(single-flight: N identical in-flight requests ride one solve) and solved
+serially on the shard's worker, preserving the per-shard determinism the
+cache depends on.
+
+The layers, bottom-up::
+
+    transport   serve_stream / serve_stdio — asyncio JSONL framing, one
+                task per line, out-of-order completion, id passthrough
+    scheduling  AsyncServingTier.submit — admission (accept / degrade /
+                shed by priority), ring routing, single-flight coalescing
+    solving     one AllocationService per shard — cache, donors, breaker,
+                degradation ladder, the fingerprint-seeded solve
+
+Worker modes: ``"process"`` gives each shard its own single-process
+executor — the parallel mode, since the branch-and-bound solve is
+GIL-bound Python (its LP calls are too short to release the interpreter
+for long); donor lookup and cache admission stay in the parent loop, so
+shard state remains single-writer.  ``"thread"`` (default) runs solves on
+a one-thread executor per shard — no solve parallelism, but the event
+loop stays responsive, and nothing forks.  ``"inline"`` runs solves
+directly on the event loop — fully deterministic, the mode the tests use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from collections.abc import Callable, Iterable
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from functools import partial
+from typing import IO
+
+from repro.minlp.solution import Status
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span
+from repro.service.admission import (
+    DEFAULT_PRIORITY,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+)
+from repro.service.coalesce import SingleFlight
+from repro.service.errors import (
+    ServiceError,
+    ServiceOverloadError,
+    ServiceRejectedError,
+    ServiceTimeoutError,
+)
+from repro.service.metrics import LatencyHistogram
+from repro.service.request import SolveRequest
+from repro.service.response import ServiceResponse
+from repro.service.service import AllocationService, ResiliencePolicy
+from repro.service.sharding import DEFAULT_VNODES, HashRing
+from repro.service.solver import SolveOutcome, greedy_outcome, solve_request
+
+_WORKER_MODES = ("thread", "process", "inline")
+
+
+def _shard_solve(payload: dict, x0: dict | None, deadline: float | None) -> dict:
+    """The picklable solve shipped to a shard's worker process."""
+    return solve_request(
+        SolveRequest.from_dict(payload), x0=x0, deadline=deadline
+    ).to_dict()
+
+
+@dataclass(frozen=True)
+class TierConfig:
+    """Everything the async tier needs, in one value object."""
+
+    shards: int = 4
+    vnodes: int = DEFAULT_VNODES
+    worker_mode: str = "thread"
+    coalesce: bool = True
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    cache_capacity: int = 256  # per shard
+    ttl: float | None = None
+    warm_start: bool = True
+    share_cuts: bool = True
+    resilience: ResiliencePolicy | None = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("the tier needs at least one shard")
+        if self.worker_mode not in _WORKER_MODES:
+            raise ValueError(
+                f"unknown worker mode {self.worker_mode!r}; "
+                f"expected one of {_WORKER_MODES}"
+            )
+
+    @classmethod
+    def for_host(cls, cores: int | None = None, **overrides) -> "TierConfig":
+        """A config matched to the host's CPU budget.
+
+        Multi-core hosts get ``"process"`` workers (shards solve in
+        parallel across cores); a single-core host gets ``"thread"``
+        workers — out-of-process solving buys nothing there and forfeits
+        the parent's cross-solve cut-pool reuse, so in-process is strictly
+        better.  Explicit ``overrides`` win over the derived fields.
+        """
+        if cores is None:
+            try:
+                cores = len(os.sched_getaffinity(0))
+            except AttributeError:  # platforms without affinity
+                cores = os.cpu_count() or 1
+        derived = {"worker_mode": "process" if cores > 1 else "thread"}
+        derived.update(overrides)
+        return cls(**derived)
+
+
+class _Shard:
+    """One shard: its service, its flight table, its (optional) worker."""
+
+    def __init__(self, name: str, config: TierConfig) -> None:
+        self.name = name
+        self.service = AllocationService(
+            cache_capacity=config.cache_capacity,
+            ttl=config.ttl,
+            warm_start=config.warm_start,
+            resilience=config.resilience,
+            share_cuts=config.share_cuts,
+        )
+        self.flights = SingleFlight()
+        self.requests = 0
+        self.mode = config.worker_mode
+        self.executor: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"hslb-{name}"
+            )
+            if self.mode == "thread"
+            else None
+        )
+        self.process: ProcessPoolExecutor | None = (
+            ProcessPoolExecutor(max_workers=1)
+            if self.mode == "process"
+            else None
+        )
+        # Serializes out-of-process dispatch per shard, so each solve's
+        # donor lookup sees every sibling already admitted.  Costs nothing:
+        # the pool has exactly one worker.
+        self._dispatch_lock = asyncio.Lock()
+
+    async def solve(self, request: SolveRequest, deadline: float | None):
+        """Run one (possibly warm-started) solve on this shard's worker."""
+        if self.process is not None:
+            return await self._solve_out_of_process(request, deadline)
+        call = partial(self.service.submit, request, deadline=deadline)
+        if self.executor is None:
+            return call()
+        return await asyncio.get_running_loop().run_in_executor(
+            self.executor, call
+        )
+
+    async def _solve_out_of_process(
+        self, request: SolveRequest, deadline: float | None
+    ) -> ServiceResponse:
+        """Ship the solve to this shard's worker process.
+
+        Only the solve itself leaves the parent: donor lookup before and
+        cache/donor admission after both run on the event loop, under the
+        shard's dispatch lock — so a burst of one family's budgets chains
+        warm starts (each solve sees its predecessors admitted) instead of
+        all dispatching cold.  A dead worker is replaced and the victim
+        solve retried on a transient thread — the request is
+        fingerprint-seeded, so the retry is idempotent.
+        """
+        start = time.perf_counter()
+        loop = asyncio.get_running_loop()
+        fingerprint = request.fingerprint()
+        service = self.service
+        async with self._dispatch_lock:
+            x0, donor = service._find_donor(request, fingerprint)
+            try:
+                payload = await loop.run_in_executor(
+                    self.process, _shard_solve, request.to_dict(), x0, deadline
+                )
+            except BrokenProcessPool:
+                service.metrics.record_worker_failure("crash")
+                self.process.shutdown(wait=False)
+                self.process = ProcessPoolExecutor(max_workers=1)
+                service.metrics.record_worker_restart()
+                payload = await loop.run_in_executor(
+                    None, _shard_solve, request.to_dict(), x0, deadline
+                )
+            outcome = SolveOutcome.from_dict(payload)
+            ok = outcome.status in (Status.OPTIMAL.value, Status.FEASIBLE.value)
+            if ok:
+                service.admit(request, outcome)
+        service.metrics.record_solve(
+            outcome.wall_time,
+            warm=outcome.warm_started,
+            iterations=outcome.iterations,
+            ok=ok,
+        )
+        if ok:
+            return ServiceResponse.from_outcome(
+                outcome,
+                cached=False,
+                latency=time.perf_counter() - start,
+                donor=donor,
+            )
+        if outcome.status == Status.TIME_LIMIT.value:
+            service.metrics.record_timeout()
+        if service.resilience is not None:
+            # The ladder below exact (stale -> greedy -> typed rejection).
+            return service.fallback(
+                request,
+                fingerprint,
+                reason=f"worker solve ended {outcome.status}",
+                start=start,
+            )
+        return ServiceResponse.from_outcome(
+            outcome, cached=False, latency=time.perf_counter() - start
+        )
+
+    def close(self) -> None:
+        if self.executor is not None:
+            self.executor.shutdown(wait=True)
+        if self.process is not None:
+            self.process.shutdown(wait=True)
+
+
+class AsyncServingTier:
+    """Consistent-hash sharded, coalescing, admission-controlled front end."""
+
+    def __init__(self, config: TierConfig | None = None) -> None:
+        self.config = config or TierConfig()
+        self.shards: dict[str, _Shard] = {
+            f"shard-{i}": _Shard(f"shard-{i}", self.config)
+            for i in range(self.config.shards)
+        }
+        self.ring = HashRing(self.shards, vnodes=self.config.vnodes)
+        self.admission = AdmissionController(self.config.admission)
+        self.latency = LatencyHistogram()  # end-to-end, queue wait included
+        self.served = 0
+        self.pending = 0
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down shard workers (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            for shard in self.shards.values():
+                shard.close()
+
+    async def __aenter__(self) -> "AsyncServingTier":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        self.close()
+
+    # -- the request path ----------------------------------------------------
+
+    def route(self, request: SolveRequest) -> str:
+        """The shard owning ``request``'s family."""
+        return self.ring.lookup(request.family_key())
+
+    async def submit(
+        self,
+        request: SolveRequest,
+        *,
+        priority: str = DEFAULT_PRIORITY,
+        deadline: float | None = None,
+    ) -> ServiceResponse:
+        """Answer one request through admission, routing, and coalescing.
+
+        Raises :class:`ServiceOverloadError` when the request is shed and
+        whatever the shard's service raises when its ladder runs out —
+        the same contract as :meth:`AllocationService.submit`.
+        """
+        start = time.perf_counter()
+        shard = self.shards[self.route(request)]
+        shard.requests += 1
+        fingerprint = request.fingerprint()
+        with span("tier.submit") as sp:
+            sp.set_tag("shard", shard.name)
+            sp.set_tag("priority", priority)
+            decision = self.admission.decide(priority, self.pending)
+            sp.set_tag("admission", decision.value)
+            if decision is AdmissionDecision.SHED:
+                self._observe(start)
+                shard.service.metrics.record_overload()
+                raise ServiceOverloadError(
+                    pending=self.pending,
+                    capacity=self.config.admission.max_pending,
+                    retry_after=self._retry_after(),
+                )
+
+            # Fast path: a live cache hit never queues, whatever the verdict.
+            cached = shard.service.cache.get(fingerprint)
+            if cached is not None:
+                latency = self._observe(start)
+                shard.service.metrics.record_hit(latency)
+                return ServiceResponse.from_outcome(
+                    cached, cached=True, latency=latency
+                )
+
+            if decision is AdmissionDecision.DEGRADE:
+                return self._degrade(shard, request, fingerprint, start)
+
+            self.pending += 1
+            try:
+                if self.config.coalesce:
+                    response = await shard.flights.run(
+                        fingerprint,
+                        lambda: shard.solve(request, deadline),
+                    )
+                else:
+                    response = await shard.solve(request, deadline)
+            finally:
+                self.pending -= 1
+            self._observe(start)
+            return response
+
+    async def submit_dict(
+        self, payload: dict, *, deadline: float | None = None
+    ) -> dict:
+        """Wire-format entry point: dict in, dict out (the JSONL schema).
+
+        ``priority`` rides in the payload; ``id`` (opaque to the tier) is
+        echoed back so out-of-order stream responses stay matchable.
+        """
+        request = SolveRequest.from_dict(payload)
+        response = await self.submit(
+            request,
+            priority=str(payload.get("priority", DEFAULT_PRIORITY)),
+            deadline=deadline,
+        )
+        out = response.to_dict()
+        out["shard"] = self.route(request)
+        if "id" in payload:
+            out["id"] = payload["id"]
+        return out
+
+    # -- degraded serving ----------------------------------------------------
+
+    def _degrade(
+        self,
+        shard: _Shard,
+        request: SolveRequest,
+        fingerprint: str,
+        start: float,
+    ) -> ServiceResponse:
+        """Answer without a solve: stale cache if present, else greedy.
+
+        The admission layer's middle verdict.  Both rungs cost microseconds
+        and reuse the degradation ladder's provenance conventions, so a
+        scrape cannot mistake a load-shedding answer for an exact one.
+        """
+        hit = shard.service.cache.stale(fingerprint)
+        if hit is not None:
+            value, age = hit
+            latency = self._observe(start)
+            shard.service.metrics.record_degraded("stale", latency)
+            return ServiceResponse.from_outcome(
+                value, cached=True, latency=latency, source="stale",
+                staleness=age,
+            )
+        outcome = greedy_outcome(request)
+        latency = self._observe(start)
+        shard.service.metrics.record_degraded("greedy", latency)
+        return ServiceResponse.from_outcome(
+            outcome, cached=False, latency=latency, source="greedy"
+        )
+
+    # -- accounting ----------------------------------------------------------
+
+    def _observe(self, start: float) -> float:
+        latency = time.perf_counter() - start
+        self.latency.observe(latency)
+        self.served += 1
+        REGISTRY.histogram("service_tier_request_seconds").observe(latency)
+        return latency
+
+    def _retry_after(self) -> float:
+        """Drain-time hint for shed work, from the observed mean latency."""
+        mean = self.latency.mean or 0.05
+        headroom = max(1, self.pending - self.config.admission.max_pending // 2)
+        return headroom * mean
+
+    def snapshot(self) -> dict:
+        """One structured view of the whole tier (JSON-ready)."""
+        merged = {
+            "requests": 0, "cache_hits": 0, "cold_solves": 0,
+            "warm_solves": 0, "degraded_stale": 0, "degraded_greedy": 0,
+            "rejections": 0, "overloads": 0,
+        }
+        per_shard = {}
+        for name, shard in self.shards.items():
+            snap = shard.service.metrics.snapshot()
+            per_shard[name] = {
+                "routed": shard.requests,
+                "requests": snap["requests"],
+                "hit_rate": snap["hit_rate"],
+                "warm_start_speedup": snap["warm_start_speedup"],
+                "coalesce": shard.flights.stats.as_dict(),
+            }
+            metrics = shard.service.metrics
+            for key in merged:
+                merged[key] += getattr(metrics, key)
+        merged["hit_rate"] = (
+            merged["cache_hits"] / merged["requests"] if merged["requests"] else 0.0
+        )
+        leaders = sum(s.flights.stats.leaders for s in self.shards.values())
+        riders = sum(s.flights.stats.riders for s in self.shards.values())
+        return {
+            "shards": len(self.shards),
+            "worker_mode": self.config.worker_mode,
+            "served": self.served,
+            "pending": self.pending,
+            "admission": self.admission.as_dict(),
+            "coalesce": {
+                "leaders": leaders,
+                "riders": riders,
+                "coalesce_rate": riders / (leaders + riders)
+                if (leaders + riders)
+                else 0.0,
+            },
+            "latency": self.latency.snapshot(),
+            "per_shard": per_shard,
+            **merged,
+        }
+
+
+# -- transport: asyncio JSONL framing -----------------------------------------
+
+
+async def serve_stream(
+    tier: AsyncServingTier,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    *,
+    deadline: float | None = None,
+) -> int:
+    """Serve JSONL over an asyncio stream pair until EOF or ``quit``.
+
+    Requests are handled concurrently (one task per line), so responses may
+    arrive out of order; clients that care attach an ``id`` and match on
+    its echo.  Returns the number of requests served.
+    """
+    lock = asyncio.Lock()
+
+    async def emit(payload: dict) -> None:
+        async with lock:
+            writer.write((json.dumps(payload) + "\n").encode())
+            await writer.drain()
+
+    async def lines():
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            yield line.decode()
+
+    return await _serve_lines(tier, lines(), emit, deadline=deadline)
+
+
+def serve_stdio(
+    tier: AsyncServingTier,
+    stdin: IO[str],
+    stdout: IO[str],
+    *,
+    deadline: float | None = None,
+) -> int:
+    """The stdio flavor of :func:`serve_stream` (the ``hslb serve --async``
+    transport); same JSONL schema as the synchronous ``serve_loop``."""
+
+    async def _run() -> int:
+        loop = asyncio.get_running_loop()
+        lock = asyncio.Lock()
+
+        async def emit(payload: dict) -> None:
+            async with lock:
+                stdout.write(json.dumps(payload) + "\n")
+                stdout.flush()
+
+        async def lines():
+            while True:
+                line = await loop.run_in_executor(None, stdin.readline)
+                if not line:
+                    return
+                yield line
+
+        async with tier:
+            return await _serve_lines(tier, lines(), emit, deadline=deadline)
+
+    return asyncio.run(_run())
+
+
+async def _serve_lines(
+    tier: AsyncServingTier,
+    lines,
+    emit: Callable[[dict], object],
+    *,
+    deadline: float | None = None,
+) -> int:
+    """The transport-agnostic request loop: parse, dispatch, drain."""
+    served = 0
+    tasks: set[asyncio.Task] = set()
+
+    async def handle(payload: dict) -> None:
+        try:
+            response = await tier.submit_dict(payload, deadline=deadline)
+        except ServiceOverloadError as exc:
+            response = {
+                "error": str(exc),
+                "status": "overload",
+                "retry_after": exc.retry_after,
+            }
+        except ServiceTimeoutError as exc:
+            response = {
+                "error": str(exc),
+                "status": "time_limit",
+                "fingerprint": exc.fingerprint,
+            }
+        except ServiceRejectedError as exc:
+            response = {
+                "error": str(exc),
+                "status": "rejected",
+                "fingerprint": exc.fingerprint,
+            }
+        except ServiceError as exc:
+            response = {"error": str(exc)}
+        if "id" in payload and "id" not in response:
+            response["id"] = payload["id"]
+        await emit(response)
+
+    async for raw in lines:
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            await emit({"error": f"bad JSON: {exc}"})
+            continue
+        if not isinstance(payload, dict):
+            await emit({"error": "each line must be a JSON object"})
+            continue
+        cmd = payload.get("cmd")
+        if cmd == "quit":
+            break
+        if cmd == "metrics":
+            await emit({"metrics": tier.snapshot()})
+            continue
+        if cmd is not None:
+            await emit({"error": f"unknown command {cmd!r}"})
+            continue
+        served += 1
+        task = asyncio.create_task(handle(payload))
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+    if tasks:
+        await asyncio.gather(*tasks)
+    return served
+
+
+def run_requests(
+    tier: AsyncServingTier,
+    requests: Iterable[SolveRequest],
+    *,
+    priority: str = DEFAULT_PRIORITY,
+    deadline: float | None = None,
+) -> list[ServiceResponse]:
+    """Convenience: drive the tier from synchronous code, all-concurrent.
+
+    Every request becomes one task on a fresh event loop; the list comes
+    back in input order.  Overloads and rejections surface as error
+    envelopes, mirroring :class:`~repro.service.batch.BatchExecutor`.
+    """
+
+    async def _run() -> list[ServiceResponse]:
+        async def one(req: SolveRequest) -> ServiceResponse:
+            try:
+                return await tier.submit(
+                    req, priority=priority, deadline=deadline
+                )
+            except ServiceOverloadError as exc:
+                return ServiceResponse.error(
+                    fingerprint=req.fingerprint(),
+                    status="overload",
+                    message=str(exc),
+                    source="rejected",
+                )
+            except (ServiceTimeoutError, ServiceRejectedError) as exc:
+                return ServiceResponse.error(
+                    fingerprint=req.fingerprint(),
+                    status="rejected",
+                    message=str(exc),
+                    source="rejected",
+                )
+
+        async with tier:
+            return list(await asyncio.gather(*(one(r) for r in requests)))
+
+    return asyncio.run(_run())

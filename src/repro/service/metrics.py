@@ -21,46 +21,84 @@ LATENCY_BUCKETS = (
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
 )
 
+#: Raw observations retained for exact quantiles.  Tail quantiles (p999)
+#: on fewer samples than this are *exact*; beyond it the histogram falls
+#: back to bucket interpolation.  2048 floats is ~16 KiB per histogram.
+EXACT_SAMPLE_CAP = 2048
+
+
+def exact_quantile(samples: list[float], q: float) -> float:
+    """Linear-interpolated order statistic of ``samples`` (must be sorted)."""
+    if not samples:
+        return 0.0
+    pos = q * (len(samples) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(samples) - 1)
+    return samples[lo] + (samples[hi] - samples[lo]) * (pos - lo)
+
 
 @dataclass
 class LatencyHistogram:
-    """Fixed-bucket histogram of seconds, with count/sum like Prometheus."""
+    """Fixed-bucket histogram of seconds, with count/sum like Prometheus.
+
+    Quantiles are **exact** while every observation is still retained (up
+    to :data:`EXACT_SAMPLE_CAP` raw samples — small-sample p999 is an order
+    statistic, not a bucket bound) and linearly interpolated within the
+    covering bucket once the reservoir overflows.
+    """
 
     buckets: tuple[float, ...] = LATENCY_BUCKETS
     counts: list[int] = field(default_factory=list)
     total: int = 0
     sum: float = 0.0
+    sample_cap: int = EXACT_SAMPLE_CAP
 
     def __post_init__(self) -> None:
         if not self.counts:
             self.counts = [0] * (len(self.buckets) + 1)  # +1: overflow
+        self._samples: list[float] = []
 
     def observe(self, seconds: float) -> None:
         self.counts[bisect.bisect_left(self.buckets, seconds)] += 1
         self.total += 1
         self.sum += seconds
+        if len(self._samples) < self.sample_cap:
+            self._samples.append(seconds)
 
     def reset(self) -> None:
         self.counts = [0] * (len(self.buckets) + 1)
         self.total = 0
         self.sum = 0.0
+        self._samples = []
 
     @property
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
 
     def quantile(self, q: float) -> float:
-        """Bucket-resolution quantile estimate (upper bound of the bucket)."""
+        """Quantile estimate: exact on small samples, interpolated after.
+
+        While every observation is retained (``total <= sample_cap``) this
+        is the interpolated order statistic of the raw samples.  Once the
+        reservoir has overflowed, it interpolates linearly inside the
+        bucket covering the target rank — a strictly better estimate than
+        the bucket's upper bound, and identical at the bucket boundaries.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
         if self.total == 0:
             return 0.0
+        if self.total <= len(self._samples):
+            return exact_quantile(sorted(self._samples), q)
         target = q * self.total
         seen = 0
+        lower = 0.0
         for bound, count in zip(self.buckets, self.counts):
+            if seen + count >= target and count:
+                fraction = (target - seen) / count
+                return lower + (bound - lower) * fraction
             seen += count
-            if seen >= target:
-                return bound
+            lower = bound
         return float("inf")  # landed in the overflow bucket
 
     def snapshot(self) -> dict:
@@ -70,6 +108,8 @@ class LatencyHistogram:
             "mean": self.mean,
             "p50": self.quantile(0.5),
             "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
             "buckets": {
                 str(b): c for b, c in zip(self.buckets, self.counts) if c
             },

@@ -1,0 +1,85 @@
+"""Tiered admission: accept / degrade / shed by priority class and fill."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+    ClassThresholds,
+)
+
+
+def _decide(priority: str, pending: int, max_pending: int = 100):
+    controller = AdmissionController(AdmissionPolicy(max_pending=max_pending))
+    return controller.decide(priority, pending)
+
+
+def test_empty_tier_accepts_everyone():
+    for priority in ("interactive", "batch", "background"):
+        assert _decide(priority, 0) is AdmissionDecision.ACCEPT
+
+
+def test_load_strips_background_first():
+    # At 50% fill: background (degrade_at=0.45) degrades, the paying
+    # classes still get exact solves.
+    assert _decide("background", 50) is AdmissionDecision.DEGRADE
+    assert _decide("batch", 50) is AdmissionDecision.ACCEPT
+    assert _decide("interactive", 50) is AdmissionDecision.ACCEPT
+
+
+def test_interactive_survives_longest():
+    # At 95% fill everyone else sheds or degrades; interactive degrades only.
+    assert _decide("interactive", 95) is AdmissionDecision.DEGRADE
+    assert _decide("batch", 95) is AdmissionDecision.SHED
+    assert _decide("background", 95) is AdmissionDecision.SHED
+    # At full capacity even interactive sheds.
+    assert _decide("interactive", 100) is AdmissionDecision.SHED
+
+
+def test_unknown_priority_ranks_at_the_bottom():
+    # Traffic that does not declare itself is the first to degrade.
+    assert _decide("mystery", 50) is AdmissionDecision.DEGRADE
+    assert _decide("mystery", 70) is AdmissionDecision.SHED
+
+
+def test_thresholds_are_fractions_of_capacity():
+    # Same fill fraction, different absolute counts -> same verdict.
+    assert _decide("background", 5, max_pending=10) is AdmissionDecision.DEGRADE
+    assert _decide("background", 500, max_pending=1000) is (
+        AdmissionDecision.DEGRADE
+    )
+
+
+def test_controller_accounting():
+    controller = AdmissionController(AdmissionPolicy(max_pending=100))
+    controller.decide("interactive", 0)
+    controller.decide("background", 50)
+    controller.decide("background", 80)
+    assert controller.as_dict() == {"accepted": 1, "degraded": 1, "shed": 1}
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        AdmissionPolicy(max_pending=0)
+    with pytest.raises(ValueError):
+        AdmissionPolicy(thresholds={})
+    with pytest.raises(ValueError):
+        ClassThresholds(degrade_at=0.9, shed_at=0.5)  # degrade after shed
+    with pytest.raises(ValueError):
+        ClassThresholds(degrade_at=-0.1, shed_at=0.5)
+
+
+def test_custom_ladder():
+    policy = AdmissionPolicy(
+        max_pending=10,
+        thresholds={"only": ClassThresholds(degrade_at=0.2, shed_at=0.6)},
+    )
+    controller = AdmissionController(policy)
+    assert controller.decide("only", 1) is AdmissionDecision.ACCEPT
+    assert controller.decide("only", 2) is AdmissionDecision.DEGRADE
+    assert controller.decide("only", 6) is AdmissionDecision.SHED
+    # Unknown classes fall to the single (hence lowest) class.
+    assert controller.decide("other", 2) is AdmissionDecision.DEGRADE

@@ -1,0 +1,143 @@
+"""Single-flight coalescing: one solve per in-flight key, shared outcomes."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service import SingleFlight
+
+
+def test_n_identical_in_flight_run_once():
+    """The core invariant: N concurrent identical requests -> one execution."""
+    flight = SingleFlight()
+    calls = 0
+    release = asyncio.Event()
+
+    async def solve():
+        nonlocal calls
+        calls += 1
+        await release.wait()  # hold the flight open until all N have joined
+        return {"answer": 42}
+
+    async def main():
+        tasks = [
+            asyncio.create_task(flight.run("fp", solve)) for _ in range(10)
+        ]
+        await asyncio.sleep(0)  # let every task enter run()
+        release.set()
+        return await asyncio.gather(*tasks)
+
+    results = asyncio.run(main())
+    assert calls == 1
+    assert all(r == {"answer": 42} for r in results)
+    assert flight.stats.leaders == 1
+    assert flight.stats.riders == 9
+    assert flight.stats.coalesce_rate == pytest.approx(0.9)
+
+
+def test_distinct_keys_do_not_coalesce():
+    flight = SingleFlight()
+    calls = []
+
+    async def solve(key):
+        calls.append(key)
+        await asyncio.sleep(0)
+        return key
+
+    async def main():
+        return await asyncio.gather(
+            flight.run("a", lambda: solve("a")),
+            flight.run("b", lambda: solve("b")),
+        )
+
+    assert asyncio.run(main()) == ["a", "b"]
+    assert sorted(calls) == ["a", "b"]
+    assert flight.stats.riders == 0
+
+
+def test_sequential_calls_each_run():
+    """Coalescing is for in-flight duplicates; completed answers are the
+    cache's job, so a caller arriving after completion runs fresh."""
+    flight = SingleFlight()
+    calls = 0
+
+    async def solve():
+        nonlocal calls
+        calls += 1
+        return calls
+
+    async def main():
+        first = await flight.run("fp", solve)
+        second = await flight.run("fp", solve)
+        return first, second
+
+    assert asyncio.run(main()) == (1, 2)
+    assert flight.stats.leaders == 2
+
+
+def test_riders_share_the_leaders_exception():
+    flight = SingleFlight()
+    calls = 0
+    release = asyncio.Event()
+
+    async def solve():
+        nonlocal calls
+        calls += 1
+        await release.wait()
+        raise RuntimeError("solver blew up")
+
+    async def main():
+        tasks = [
+            asyncio.create_task(flight.run("fp", solve)) for _ in range(4)
+        ]
+        await asyncio.sleep(0)
+        release.set()
+        return await asyncio.gather(*tasks, return_exceptions=True)
+
+    results = asyncio.run(main())
+    assert calls == 1
+    assert all(isinstance(r, RuntimeError) for r in results)
+    # The failed flight is cleared: the next arrival starts fresh instead of
+    # inheriting a stale failure.
+    assert not flight.in_flight("fp")
+
+
+def test_cancelled_leader_hands_off_to_a_rider():
+    """Cancelling the leader must not strand riders with CancelledError."""
+    flight = SingleFlight()
+    calls = 0
+    release = asyncio.Event()
+
+    async def solve():
+        nonlocal calls
+        calls += 1
+        if calls == 1:
+            await asyncio.Event().wait()  # first leader hangs until cancelled
+        await release.wait()
+        return "handed-off"
+
+    async def main():
+        leader = asyncio.create_task(flight.run("fp", solve))
+        riders = [
+            asyncio.create_task(flight.run("fp", solve)) for _ in range(3)
+        ]
+        await asyncio.sleep(0)
+        leader.cancel()
+        # Let the cancellation land and the riders re-enter: the first one
+        # re-leads (and suspends on `release`), the rest join its flight.
+        for _ in range(3):
+            await asyncio.sleep(0)
+        release.set()
+        results = await asyncio.gather(
+            leader, *riders, return_exceptions=True
+        )
+        return results
+
+    leader_result, *rider_results = asyncio.run(main())
+    # The canceller sees its own cancellation...
+    assert isinstance(leader_result, asyncio.CancelledError)
+    # ...while one rider re-led the flight and the rest rode it.
+    assert calls == 2
+    assert all(r == "handed-off" for r in rider_results)

@@ -1,0 +1,84 @@
+"""Consistent-hash ring: determinism, balance, and minimal key movement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import HashRing
+from repro.service.sharding import DEFAULT_VNODES
+
+KEYS = [f"family-{i:04d}" for i in range(2000)]
+
+
+def test_lookup_is_deterministic_across_instances():
+    a = HashRing(["s0", "s1", "s2", "s3"])
+    b = HashRing(["s0", "s1", "s2", "s3"])
+    assert [a.lookup(k) for k in KEYS] == [b.lookup(k) for k in KEYS]
+
+
+def test_lookup_ignores_shard_insertion_order():
+    # Ring points are a pure function of shard names, so construction order
+    # cannot change placement (no "whoever joined first owns more").
+    forward = HashRing(["s0", "s1", "s2", "s3"])
+    reverse = HashRing(["s3", "s2", "s1", "s0"])
+    assert [forward.lookup(k) for k in KEYS] == [reverse.lookup(k) for k in KEYS]
+
+
+def test_every_key_lands_on_a_member_shard():
+    ring = HashRing(["s0", "s1", "s2"])
+    assert set(ring.spread(KEYS)) == {"s0", "s1", "s2"}
+    assert sum(ring.spread(KEYS).values()) == len(KEYS)
+
+
+def test_vnodes_keep_the_spread_balanced():
+    ring = HashRing([f"s{i}" for i in range(8)], vnodes=DEFAULT_VNODES)
+    counts = ring.spread(KEYS)
+    mean = len(KEYS) / len(counts)
+    # With ~100 vnodes the imbalance concentrates near 1/sqrt(vnodes); 1.5x
+    # of the mean is far outside that envelope and would flag a broken ring.
+    assert max(counts.values()) < 1.5 * mean
+    assert min(counts.values()) > 0.5 * mean
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_adding_a_shard_moves_at_most_its_fair_share(n):
+    before = HashRing([f"s{i}" for i in range(n)])
+    after = HashRing([f"s{i}" for i in range(n)])
+    after.add_shard(f"s{n}")
+    moved = sum(1 for k in KEYS if before.lookup(k) != after.lookup(k))
+    # Consistent hashing's whole point: ~K/(N+1) keys move to the joiner,
+    # everyone else stays put.  Allow 1.5x slack for vnode arc variance.
+    assert moved <= 1.5 * len(KEYS) / (n + 1)
+    # ...and every moved key moved *to* the new shard, never between
+    # incumbents.
+    assert all(
+        after.lookup(k) == f"s{n}"
+        for k in KEYS
+        if before.lookup(k) != after.lookup(k)
+    )
+
+
+def test_removing_a_shard_only_reassigns_its_own_keys():
+    ring = HashRing(["s0", "s1", "s2", "s3"])
+    owned_before = {k: ring.lookup(k) for k in KEYS}
+    ring.remove_shard("s2")
+    for key, owner in owned_before.items():
+        if owner != "s2":
+            assert ring.lookup(key) == owner
+        else:
+            assert ring.lookup(key) != "s2"
+
+
+def test_membership_errors():
+    ring = HashRing(["s0", "s1"])
+    with pytest.raises(ValueError):
+        ring.add_shard("s0")  # double-join would double its ring share
+    with pytest.raises(ValueError):
+        ring.remove_shard("nope")
+    ring.remove_shard("s1")
+    with pytest.raises(ValueError):
+        ring.remove_shard("s0")  # the last shard must stay
+    with pytest.raises(ValueError):
+        HashRing([])
+    with pytest.raises(ValueError):
+        HashRing(["s0"], vnodes=0)

@@ -351,6 +351,38 @@ def test_serve_command(monkeypatch, capsys):
     assert "served 2 request(s)" in captured.err
 
 
+def test_serve_async_command(monkeypatch, capsys):
+    import io
+    import json
+    import sys as _sys
+
+    first = {**_service_request_payload(64), "id": "r1"}
+    second = {**_service_request_payload(64), "id": "r2"}
+    monkeypatch.setattr(
+        _sys,
+        "stdin",
+        io.StringIO(json.dumps(first) + "\n" + json.dumps(second) + "\n"),
+    )
+    assert main(
+        ["serve", "--async", "--shards", "2", "--worker-mode", "inline"]
+    ) == 0
+    captured = capsys.readouterr()
+    replies = [json.loads(line) for line in captured.out.splitlines()]
+    by_id = {r["id"]: r for r in replies}
+    assert set(by_id) == {"r1", "r2"}
+    assert by_id["r1"]["allocation"] == by_id["r2"]["allocation"]
+    assert by_id["r1"]["shard"] == by_id["r2"]["shard"]
+    assert "served 2 request(s)" in captured.err
+    snapshot = json.loads(captured.err[captured.err.index("{"):])
+    assert snapshot["shards"] == 2
+    assert snapshot["served"] == 2
+
+
+def test_serve_async_rejects_bad_shard_count(capsys):
+    assert main(["serve", "--async", "--shards", "0"]) == 2
+    assert "shard" in capsys.readouterr().err
+
+
 def test_dynlb_command_table(capsys):
     code = main(
         [
