@@ -80,7 +80,11 @@ chaos:
 # Tracing overhead (off / on / on + export); writes
 # benchmarks/out/obs_overhead.txt.
 obs-bench:
-	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_obs.py --benchmark-only
+	HSLB_BENCH_OBS_OUT=benchmarks/out/BENCH_obs.fresh.json \
+		PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_obs.py --benchmark-only -q
+	$(PYTHON) benchmarks/check_bench.py --fresh benchmarks/out/BENCH_obs.fresh.json \
+		--baseline benchmarks/out/BENCH_obs.json
+	rm -f benchmarks/out/BENCH_obs.fresh.json
 
 # Regenerate every paper table/figure and print the saved reports.
 reports: bench

@@ -54,7 +54,11 @@ class GateRule:
 #:   ``service_replay_mismatches`` pins bit-identical replay at exactly 0;
 #: * ``asyncserve_*`` — the async tier vs. batch baseline; accounting
 #:   records (lost/answered) are deterministic and gate tight, wall-time
-#:   ratios gate loose because single-core runners sit near parity.
+#:   ratios gate loose because single-core runners sit near parity;
+#: * ``obs_*`` — tracing-overhead contracts; their committed baselines ARE
+#:   the contract values (disabled-guard fraction 0.05, enabled ratio 1.5),
+#:   so with threshold 1.0 the gate fails exactly when a fresh run exceeds
+#:   the contract, not when it drifts relative to a lucky measurement.
 GATED = (
     GateRule("test_lp_pure_python_simplex"),
     GateRule("test_lp_simplex_warm_restart"),
@@ -76,6 +80,8 @@ GATED = (
     GateRule("asyncserve_p50", "lower", 3.0),
     GateRule("asyncserve_p99", "lower", 3.0),
     GateRule("asyncserve_p999", "lower", 3.0),
+    GateRule("obs_disabled_overhead_fraction", "lower", 1.0),
+    GateRule("obs_enabled_overhead_ratio", "lower", 1.0),
 )
 
 

@@ -14,7 +14,10 @@ Subcommands:
 * ``hslb experiment`` — run any registered paper experiment by id;
 * ``hslb list``       — list available experiments;
 * ``hslb trace``      — run any subcommand under the span tracer and print
-  an ASCII flamegraph of where the time went;
+  an ASCII flamegraph of where the time went; ``hslb trace --id X --input
+  dump.jsonl`` renders one request's tree from a ``--trace-out`` dump;
+* ``hslb top``        — live terminal dashboard over a ``/metrics`` scrape
+  (SLO burn rates, latency quantiles, traffic counters);
 * ``hslb metrics``    — print the metrics registry in Prometheus text
   format (optionally running a subcommand first to populate it).
 
@@ -555,6 +558,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable single-flight coalescing of identical in-flight "
         "requests (async tier)",
     )
+    tier.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve a Prometheus /metrics + /healthz HTTP endpoint on "
+        "this port for the lifetime of the session (0 = ephemeral; "
+        "async tier)",
+    )
 
     bat = sub.add_parser(
         "batch", help="answer a JSON file of allocation requests in one batch"
@@ -640,12 +652,56 @@ def _build_parser() -> argparse.ArgumentParser:
 
     trc = sub.add_parser(
         "trace",
-        help="run a subcommand under the span tracer, flamegraph on stderr",
+        help="run a subcommand under the span tracer, flamegraph on stderr; "
+        "or render one request's tree from a trace dump with --id",
+    )
+    trc.add_argument(
+        "--id",
+        dest="trace_id",
+        default=None,
+        metavar="TRACE_ID",
+        help="render the flamegraph/timeline of one request tree from a "
+        "JSONL trace dump (requires --input)",
+    )
+    trc.add_argument(
+        "--input",
+        metavar="FILE",
+        default=None,
+        help="JSONL trace dump to read (written by --trace-out)",
     )
     trc.add_argument(
         "rest",
         nargs=argparse.REMAINDER,
         help="subcommand (and flags) to run traced, e.g. `optimize --nodes 64`",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a /metrics scrape (SLO burn, "
+        "latency quantiles, traffic)",
+    )
+    top.add_argument(
+        "--url",
+        default=None,
+        help="metrics endpoint to scrape, e.g. http://127.0.0.1:9100/metrics",
+    )
+    top.add_argument(
+        "--input",
+        metavar="FILE",
+        default=None,
+        help="read exposition text from a file instead of scraping",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between repaints (default: 2)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after this many repaints (default: run until ^C)",
     )
 
     met = sub.add_parser(
@@ -1132,7 +1188,11 @@ def _cmd_serve_async(args: argparse.Namespace) -> int:
     tier = AsyncServingTier(config)
     with _tracing(args.trace_out):
         served = serve_stdio(
-            tier, sys.stdin, sys.stdout, deadline=args.deadline
+            tier,
+            sys.stdin,
+            sys.stdout,
+            deadline=args.deadline,
+            metrics_port=args.metrics_port,
         )
     _log.info(f"served {served} request(s)")
     print(json.dumps(tier.snapshot(), indent=2), file=sys.stderr)
@@ -1389,6 +1449,8 @@ def _strip_separator(rest: list[str]) -> list[str]:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.trace import get_tracer
 
+    if args.trace_id is not None:
+        return _cmd_trace_by_id(args)
     rest = _strip_separator(args.rest)
     if not rest:
         _log.error("trace needs a subcommand, e.g. `hslb trace optimize ...`")
@@ -1402,6 +1464,54 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         tracer.disable()
     print(tracer.render_flamegraph(), file=sys.stderr)
     return code
+
+
+def _cmd_trace_by_id(args: argparse.Namespace) -> int:
+    """Render one request's span tree from a JSONL trace dump."""
+    from repro.obs.export import (
+        assemble_trace,
+        parse_trace_jsonl,
+        render_flamegraph,
+        render_timeline,
+    )
+
+    if not args.input:
+        _log.error("trace --id needs --input FILE (a --trace-out JSONL dump)")
+        return 2
+    with open(args.input) as fh:
+        records = parse_trace_jsonl(fh.read())
+    roots = assemble_trace(records, args.trace_id)
+    if not roots:
+        _log.error(f"no spans for trace {args.trace_id!r} in {args.input}")
+        return 1
+    print(f"trace {args.trace_id} ({sum(1 for r in roots for _ in r.walk())} spans)")
+    print(render_flamegraph(roots))
+    print()
+    print(render_timeline(roots))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import fetch_url, top
+
+    if args.input:
+        def fetch() -> str:
+            with open(args.input) as fh:
+                return fh.read()
+    elif args.url:
+        def fetch() -> str:
+            return fetch_url(args.url)
+    else:
+        _log.error("top needs --url or --input")
+        return 2
+    try:
+        painted = top(fetch, interval=args.interval, iterations=args.iterations)
+    except KeyboardInterrupt:
+        return 0
+    except ValueError as exc:
+        _log.error(str(exc))
+        return 2
+    return 0 if painted else 1
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -1440,6 +1550,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_export(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     return _cmd_list()

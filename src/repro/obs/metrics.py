@@ -132,8 +132,14 @@ class Histogram(Metric):
         self._sums: dict[_LabelKey, float] = {}
         self._totals: dict[_LabelKey, int] = {}
         self._samples: dict[_LabelKey, list[float]] = {}
+        self._exemplars: dict[_LabelKey, dict[int, tuple[str, float]]] = {}
 
-    def observe(self, value: float, **labels: str) -> None:
+    def observe(self, value: float, exemplar: str | None = None, **labels: str) -> None:
+        """Record one observation; ``exemplar`` ties it to a ``trace_id``.
+
+        Exemplars are kept per native bucket, latest-wins, so a scrape can
+        point from a slow bucket straight at a request trace to pull up.
+        """
         key = _label_key(labels)
         with self._lock:
             counts = self._counts.get(key)
@@ -142,12 +148,24 @@ class Histogram(Metric):
                 self._sums[key] = 0.0
                 self._totals[key] = 0
                 self._samples[key] = []
-            counts[bisect.bisect_left(self.buckets, value)] += 1
+            idx = bisect.bisect_left(self.buckets, value)
+            counts[idx] += 1
             self._sums[key] += value
             self._totals[key] += 1
             retained = self._samples[key]
             if len(retained) < EXACT_SAMPLE_CAP:
                 retained.append(value)
+            if exemplar:
+                self._exemplars.setdefault(key, {})[idx] = (str(exemplar), value)
+
+    def exemplars(self) -> Iterator[tuple[_LabelKey, str, str, float]]:
+        """Yield ``(label_key, le, trace_id, value)`` for every kept exemplar."""
+        with self._lock:
+            kept = {k: dict(v) for k, v in self._exemplars.items()}
+        for key in sorted(kept):
+            for idx, (trace_id, value) in sorted(kept[key].items()):
+                le = "+Inf" if idx == len(self.buckets) else repr(self.buckets[idx])
+                yield key, le, trace_id, value
 
     def count(self, **labels: str) -> int:
         return self._totals.get(_label_key(labels), 0)
@@ -217,6 +235,7 @@ class Histogram(Metric):
             self._sums.clear()
             self._totals.clear()
             self._samples.clear()
+            self._exemplars.clear()
 
 
 class MetricsRegistry:

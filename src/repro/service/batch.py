@@ -33,6 +33,8 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.minlp.solution import Status
+from repro.obs.slo import SLOTracker
+from repro.obs.trace import span
 from repro.service.errors import (
     RestartBudgetError,
     ServiceOverloadError,
@@ -64,6 +66,7 @@ class BatchExecutor:
         max_workers: int = 0,
         deadline: float | None = None,
         max_pending: int = 1024,
+        slo: SLOTracker | None = None,
     ) -> None:
         if max_workers < 0:
             raise ValueError("max_workers must be >= 0 (0 = in-process)")
@@ -75,6 +78,7 @@ class BatchExecutor:
         self.max_workers = max_workers
         self.deadline = deadline
         self.max_pending = max_pending
+        self.slo = slo  # optional: batch outcomes feed SLO burn rates
 
     def run(self, requests: Sequence[SolveRequest]) -> list[ServiceResponse]:
         """Answer every request, preserving input order.
@@ -87,6 +91,9 @@ class BatchExecutor:
         if len(requests) > self.max_pending:
             metrics.record_batch(len(requests))
             metrics.record_overload()
+            if self.slo is not None:
+                for _ in requests:
+                    self.slo.record("batch", None, "shed")
             raise ServiceOverloadError(
                 pending=len(requests),
                 capacity=self.max_pending,
@@ -104,12 +111,15 @@ class BatchExecutor:
         }
         answered: dict[str, ServiceResponse] = {}
         if misses:
-            remaining = self._solve_donors(misses, answered)
-            if self.max_workers and len(remaining) > 1:
-                self._fan_out(remaining, answered)
-            else:
-                for fp, req in remaining.items():
-                    answered[fp] = self._submit_safe(fp, req)
+            with span(
+                "batch.solve", size=len(requests), misses=len(misses)
+            ):
+                remaining = self._solve_donors(misses, answered)
+                if self.max_workers and len(remaining) > 1:
+                    self._fan_out(remaining, answered)
+                else:
+                    for fp, req in remaining.items():
+                        answered[fp] = self._submit_safe(fp, req)
 
         # Resolution pass: the first occurrence of each solved miss keeps its
         # solve response; duplicates and pre-cached requests go through the
@@ -127,6 +137,13 @@ class BatchExecutor:
                 out.append(self.service.submit(req))
             else:  # failed earlier in this batch; envelope re-used above
                 out.append(self._submit_safe(fp, req))
+        if self.slo is not None:
+            for resp in out:
+                if resp.degraded:
+                    kind = "degraded"
+                else:
+                    kind = "ok" if resp.ok else "error"
+                self.slo.record("batch", resp.latency, kind)
         return out
 
     # -- internals ---------------------------------------------------------

@@ -33,19 +33,22 @@ directly on the event loop — fully deterministic, the mode the tests use.
 from __future__ import annotations
 
 import asyncio
+import contextvars
+import io
 import json
 import os
 import time
 from collections.abc import Callable, Iterable
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import partial
 from typing import IO
 
 from repro.minlp.solution import Status
 from repro.obs.metrics import REGISTRY
-from repro.obs.trace import span
+from repro.obs.slo import SLOTracker
+from repro.obs.trace import get_tracer, run_traced_child, span
 from repro.service.admission import (
     DEFAULT_PRIORITY,
     AdmissionController,
@@ -69,11 +72,29 @@ from repro.service.solver import SolveOutcome, greedy_outcome, solve_request
 _WORKER_MODES = ("thread", "process", "inline")
 
 
-def _shard_solve(payload: dict, x0: dict | None, deadline: float | None) -> dict:
-    """The picklable solve shipped to a shard's worker process."""
-    return solve_request(
-        SolveRequest.from_dict(payload), x0=x0, deadline=deadline
-    ).to_dict()
+def _shard_solve(
+    payload: dict,
+    x0: dict | None,
+    deadline: float | None,
+    trace_context: dict | None = None,
+) -> dict:
+    """The picklable solve shipped to a shard's worker process.
+
+    With a ``trace_context`` attached, the worker records its solve-side
+    spans under that parent and ships them back on the ``"_trace"`` key of
+    the outcome dict, for the parent to graft into the request's tree.
+    """
+
+    def _solve() -> dict:
+        with span("worker.solve", pid=os.getpid(), warm=x0 is not None):
+            return solve_request(
+                SolveRequest.from_dict(payload), x0=x0, deadline=deadline
+            ).to_dict()
+
+    outcome, spans = run_traced_child(trace_context, _solve)
+    if spans:
+        outcome = {**outcome, "_trace": spans}
+    return outcome
 
 
 @dataclass(frozen=True)
@@ -158,10 +179,15 @@ class _Shard:
             return await self._solve_out_of_process(request, deadline)
         call = partial(self.service.submit, request, deadline=deadline)
         if self.executor is None:
-            return call()
-        return await asyncio.get_running_loop().run_in_executor(
-            self.executor, call
-        )
+            with span("shard.solve", shard=self.name, mode="inline"):
+                return call()
+        with span("shard.solve", shard=self.name, mode="thread"):
+            # run_in_executor does NOT carry contextvars; copy the current
+            # context so the thread-side spans nest under this one.
+            ctx = contextvars.copy_context()
+            return await asyncio.get_running_loop().run_in_executor(
+                self.executor, ctx.run, call
+            )
 
     async def _solve_out_of_process(
         self, request: SolveRequest, deadline: float | None
@@ -180,24 +206,42 @@ class _Shard:
         loop = asyncio.get_running_loop()
         fingerprint = request.fingerprint()
         service = self.service
-        async with self._dispatch_lock:
-            x0, donor = service._find_donor(request, fingerprint)
-            try:
-                payload = await loop.run_in_executor(
-                    self.process, _shard_solve, request.to_dict(), x0, deadline
+        with span("shard.queue", shard=self.name):
+            await self._dispatch_lock.acquire()
+        try:
+            with span("shard.solve", shard=self.name, mode="process") as sp:
+                x0, donor = service._find_donor(request, fingerprint)
+                trace_context = sp.context().to_dict() if sp.trace_id else None
+                try:
+                    payload = await loop.run_in_executor(
+                        self.process,
+                        _shard_solve,
+                        request.to_dict(), x0, deadline, trace_context,
+                    )
+                except BrokenProcessPool:
+                    service.metrics.record_worker_failure("crash")
+                    self.process.shutdown(wait=False)
+                    self.process = ProcessPoolExecutor(max_workers=1)
+                    service.metrics.record_worker_restart()
+                    # Retry on a transient thread: carry the live context
+                    # instead of a serialized one (same process, new thread).
+                    ctx = contextvars.copy_context()
+                    payload = await loop.run_in_executor(
+                        None,
+                        ctx.run,
+                        partial(_shard_solve, request.to_dict(), x0, deadline),
+                    )
+                remote_spans = payload.pop("_trace", None)
+                if remote_spans and sp.trace_id:
+                    get_tracer().attach_remote(remote_spans, anchor=sp)
+                outcome = SolveOutcome.from_dict(payload)
+                ok = outcome.status in (
+                    Status.OPTIMAL.value, Status.FEASIBLE.value
                 )
-            except BrokenProcessPool:
-                service.metrics.record_worker_failure("crash")
-                self.process.shutdown(wait=False)
-                self.process = ProcessPoolExecutor(max_workers=1)
-                service.metrics.record_worker_restart()
-                payload = await loop.run_in_executor(
-                    None, _shard_solve, request.to_dict(), x0, deadline
-                )
-            outcome = SolveOutcome.from_dict(payload)
-            ok = outcome.status in (Status.OPTIMAL.value, Status.FEASIBLE.value)
-            if ok:
-                service.admit(request, outcome)
+                if ok:
+                    service.admit(request, outcome)
+        finally:
+            self._dispatch_lock.release()
         service.metrics.record_solve(
             outcome.wall_time,
             warm=outcome.warm_started,
@@ -235,7 +279,12 @@ class _Shard:
 class AsyncServingTier:
     """Consistent-hash sharded, coalescing, admission-controlled front end."""
 
-    def __init__(self, config: TierConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: TierConfig | None = None,
+        *,
+        slo: SLOTracker | None = None,
+    ) -> None:
         self.config = config or TierConfig()
         self.shards: dict[str, _Shard] = {
             f"shard-{i}": _Shard(f"shard-{i}", self.config)
@@ -244,6 +293,7 @@ class AsyncServingTier:
         self.ring = HashRing(self.shards, vnodes=self.config.vnodes)
         self.admission = AdmissionController(self.config.admission)
         self.latency = LatencyHistogram()  # end-to-end, queue wait included
+        self.slo = slo if slo is not None else SLOTracker()
         self.served = 0
         self.pending = 0
         self._closed = False
@@ -258,7 +308,27 @@ class AsyncServingTier:
                 shard.close()
 
     async def __aenter__(self) -> "AsyncServingTier":
+        await self.warm_up()
         return self
+
+    async def warm_up(self) -> None:
+        """Pre-fork process-mode pool workers while the process is quiet.
+
+        A ``ProcessPoolExecutor`` forks lazily at first submit — by which
+        time a transport may have parked a thread in a blocking
+        ``stdin.readline`` (see :func:`serve_stdio`).  A child forked while
+        another thread holds ``sys.stdin``'s buffered-reader lock deadlocks
+        in multiprocessing's ``_close_stdin`` bootstrap before it ever runs
+        a task.  Forking every worker up front, before any transport
+        thread exists, sidesteps that entirely — and moves the fork cost
+        off the first request's latency.
+        """
+        loop = asyncio.get_running_loop()
+        pools = [s.process for s in self.shards.values() if s.process is not None]
+        if pools:
+            await asyncio.gather(
+                *(loop.run_in_executor(pool, os.getpid) for pool in pools)
+            )
 
     async def __aexit__(self, *exc) -> None:
         self.close()
@@ -289,10 +359,13 @@ class AsyncServingTier:
         with span("tier.submit") as sp:
             sp.set_tag("shard", shard.name)
             sp.set_tag("priority", priority)
-            decision = self.admission.decide(priority, self.pending)
+            with span("tier.admission") as adm:
+                decision = self.admission.decide(priority, self.pending)
+                adm.set_tag("decision", decision.value)
             sp.set_tag("admission", decision.value)
             if decision is AdmissionDecision.SHED:
-                self._observe(start)
+                self._observe(start, trace_id=sp.trace_id)
+                self.slo.record(priority, None, "shed")
                 shard.service.metrics.record_overload()
                 raise ServiceOverloadError(
                     pending=self.pending,
@@ -303,28 +376,55 @@ class AsyncServingTier:
             # Fast path: a live cache hit never queues, whatever the verdict.
             cached = shard.service.cache.get(fingerprint)
             if cached is not None:
-                latency = self._observe(start)
+                latency = self._observe(start, trace_id=sp.trace_id)
                 shard.service.metrics.record_hit(latency)
-                return ServiceResponse.from_outcome(
-                    cached, cached=True, latency=latency
+                self.slo.record(priority, latency, "ok")
+                return self._stamp(
+                    ServiceResponse.from_outcome(
+                        cached, cached=True, latency=latency
+                    ),
+                    sp,
                 )
 
             if decision is AdmissionDecision.DEGRADE:
-                return self._degrade(shard, request, fingerprint, start)
+                response = self._degrade(
+                    shard, request, fingerprint, start, trace_id=sp.trace_id
+                )
+                self.slo.record(priority, response.latency, "degraded")
+                return self._stamp(response, sp)
 
             self.pending += 1
+            led = False
+
+            async def _leader_solve():
+                nonlocal led
+                led = True
+                return await shard.solve(request, deadline)
+
             try:
                 if self.config.coalesce:
-                    response = await shard.flights.run(
-                        fingerprint,
-                        lambda: shard.solve(request, deadline),
-                    )
+                    with span("tier.coalesce") as flight:
+                        response = await shard.flights.run(
+                            fingerprint, _leader_solve
+                        )
+                    flight.set_tag("role", "leader" if led else "rider")
                 else:
                     response = await shard.solve(request, deadline)
+            except ServiceError:
+                self.slo.record(
+                    priority, time.perf_counter() - start, "error"
+                )
+                raise
             finally:
                 self.pending -= 1
-            self._observe(start)
-            return response
+            latency = self._observe(start, trace_id=sp.trace_id)
+            self.slo.record(
+                priority,
+                latency,
+                "ok" if response.ok
+                else ("degraded" if response.degraded else "error"),
+            )
+            return self._stamp(response, sp)
 
     async def submit_dict(
         self, payload: dict, *, deadline: float | None = None
@@ -354,6 +454,7 @@ class AsyncServingTier:
         request: SolveRequest,
         fingerprint: str,
         start: float,
+        trace_id: str = "",
     ) -> ServiceResponse:
         """Answer without a solve: stale cache if present, else greedy.
 
@@ -364,14 +465,14 @@ class AsyncServingTier:
         hit = shard.service.cache.stale(fingerprint)
         if hit is not None:
             value, age = hit
-            latency = self._observe(start)
+            latency = self._observe(start, trace_id=trace_id)
             shard.service.metrics.record_degraded("stale", latency)
             return ServiceResponse.from_outcome(
                 value, cached=True, latency=latency, source="stale",
                 staleness=age,
             )
         outcome = greedy_outcome(request)
-        latency = self._observe(start)
+        latency = self._observe(start, trace_id=trace_id)
         shard.service.metrics.record_degraded("greedy", latency)
         return ServiceResponse.from_outcome(
             outcome, cached=False, latency=latency, source="greedy"
@@ -379,11 +480,20 @@ class AsyncServingTier:
 
     # -- accounting ----------------------------------------------------------
 
-    def _observe(self, start: float) -> float:
+    @staticmethod
+    def _stamp(response: ServiceResponse, sp) -> ServiceResponse:
+        """Return the response carrying the request's trace id (if traced)."""
+        if sp.trace_id and not response.trace_id:
+            return replace(response, trace_id=sp.trace_id)
+        return response
+
+    def _observe(self, start: float, trace_id: str = "") -> float:
         latency = time.perf_counter() - start
         self.latency.observe(latency)
         self.served += 1
-        REGISTRY.histogram("service_tier_request_seconds").observe(latency)
+        REGISTRY.histogram("service_tier_request_seconds").observe(
+            latency, exemplar=trace_id or None
+        )
         return latency
 
     def _retry_after(self) -> float:
@@ -431,6 +541,7 @@ class AsyncServingTier:
                 else 0.0,
             },
             "latency": self.latency.snapshot(),
+            "slo": self.slo.snapshot(),
             "per_shard": per_shard,
             **merged,
         }
@@ -475,9 +586,17 @@ def serve_stdio(
     stdout: IO[str],
     *,
     deadline: float | None = None,
+    metrics_port: int | None = None,
+    metrics_host: str = "127.0.0.1",
 ) -> int:
     """The stdio flavor of :func:`serve_stream` (the ``hslb serve --async``
-    transport); same JSONL schema as the synchronous ``serve_loop``."""
+    transport); same JSONL schema as the synchronous ``serve_loop``.
+
+    With ``metrics_port`` set, a :class:`repro.obs.http.MetricsServer`
+    runs on the same loop for the lifetime of the serve: ``/metrics``
+    scrapes the process registry (SLO gauges refreshed per scrape) and
+    ``/healthz`` reports tier liveness.  Port 0 binds an ephemeral port.
+    """
 
     async def _run() -> int:
         loop = asyncio.get_running_loop()
@@ -488,15 +607,55 @@ def serve_stdio(
                 stdout.write(json.dumps(payload) + "\n")
                 stdout.flush()
 
+        # Read from a private dup of stdin, not ``stdin`` itself: the
+        # reader thread below holds its file's lock for the whole blocking
+        # readline, and a process-pool worker forked meanwhile would
+        # deadlock closing an inherited, locked ``sys.stdin`` in its
+        # multiprocessing bootstrap.  Fake stdins without a real fd (tests)
+        # fall back to being read directly — they never fork workers.
+        try:
+            source = os.fdopen(os.dup(stdin.fileno()), "r")
+        except (OSError, ValueError, AttributeError, io.UnsupportedOperation):
+            source = None
+
         async def lines():
+            reader = source if source is not None else stdin
             while True:
-                line = await loop.run_in_executor(None, stdin.readline)
+                line = await loop.run_in_executor(None, reader.readline)
                 if not line:
                     return
                 yield line
 
-        async with tier:
-            return await _serve_lines(tier, lines(), emit, deadline=deadline)
+        server = None
+        if metrics_port is not None:
+            from repro.obs.http import MetricsServer
+
+            server = MetricsServer(
+                slo=tier.slo,
+                health=lambda: {
+                    "served": tier.served,
+                    "pending": tier.pending,
+                    "shards": len(tier.shards),
+                },
+                host=metrics_host,
+                port=metrics_port,
+            )
+            await server.start()
+            from repro.obs.logging import get_logger
+
+            get_logger("service.frontend").info(
+                f"metrics endpoint live on {server.url}/metrics"
+            )
+        try:
+            async with tier:
+                return await _serve_lines(
+                    tier, lines(), emit, deadline=deadline
+                )
+        finally:
+            if server is not None:
+                await server.stop()
+            if source is not None:
+                source.close()
 
     return asyncio.run(_run())
 

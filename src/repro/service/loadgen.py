@@ -200,6 +200,7 @@ class ReplayReport:
     wall_time: float
     throughput_rps: float
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    latency_by_priority: dict[str, LatencyHistogram] = field(default_factory=dict)
     sources: Counter = field(default_factory=Counter)
     priorities: Counter = field(default_factory=Counter)
     shed: int = 0
@@ -213,8 +214,27 @@ class ReplayReport:
         """Requests that got an allocation (any rung above rejection)."""
         return self.n_requests - self.shed - self.errors - self.lost
 
+    def observe_latency(self, priority: str, seconds: float) -> None:
+        """Record one answered request's latency, overall and per class."""
+        self.latency.observe(seconds)
+        hist = self.latency_by_priority.get(priority)
+        if hist is None:
+            hist = self.latency_by_priority[priority] = LatencyHistogram()
+        hist.observe(seconds)
+
     def snapshot(self) -> dict:
         lat = self.latency.snapshot()
+        per_priority = {
+            name: {
+                "count": snap["count"],
+                "p50": snap["p50"],
+                "p99": snap["p99"],
+                "p999": snap["p999"],
+                "mean_latency": snap["mean"],
+            }
+            for name, hist in sorted(self.latency_by_priority.items())
+            for snap in (hist.snapshot(),)
+        }
         return {
             "n_requests": self.n_requests,
             "wall_time": self.wall_time,
@@ -229,6 +249,7 @@ class ReplayReport:
             "p99": lat["p99"],
             "p999": lat["p999"],
             "mean_latency": lat["mean"],
+            "per_priority": per_priority,
             "coalesce": dict(self.coalesce),
             "tier": dict(self.tier),
         }
@@ -269,7 +290,7 @@ async def replay_async(
         except ServiceError:
             report.errors += 1
             return
-        report.latency.observe(time.perf_counter() - t0)
+        report.observe_latency(event.priority, time.perf_counter() - t0)
         report.sources[response.source] += 1
         report.priorities[event.priority] += 1
         if not response.ok:

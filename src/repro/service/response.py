@@ -42,6 +42,7 @@ class ServiceResponse:
     message: str = ""
     source: str = "exact"  # which ladder rung answered (see SOURCES)
     staleness: float = 0.0  # age in seconds of a stale-served answer
+    trace_id: str = ""  # the request's trace, when tracing was enabled
 
     def __post_init__(self) -> None:
         if self.source not in SOURCES:
@@ -121,4 +122,5 @@ class ServiceResponse:
             "message": self.message,
             "source": self.source,
             "staleness": self.staleness,
+            "trace_id": self.trace_id,
         }

@@ -332,8 +332,9 @@ class AllocationService:
     def admit(self, request: SolveRequest, outcome: SolveOutcome) -> None:
         """Install a finished solve into the cache and the donor pool."""
         fingerprint = outcome.fingerprint
-        self.cache.put(fingerprint, outcome)
-        self._families[request.family_key()][fingerprint] = request.total_nodes
+        with span("cache.admit", fingerprint=fingerprint[:12]):
+            self.cache.put(fingerprint, outcome)
+            self._families[request.family_key()][fingerprint] = request.total_nodes
 
     def _find_donor(
         self, request: SolveRequest, fingerprint: str

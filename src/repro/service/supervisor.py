@@ -33,11 +33,25 @@ from concurrent.futures import (
 from dataclasses import dataclass, field
 
 from repro.obs.metrics import REGISTRY
+from repro.obs.trace import get_tracer, run_traced_child
 from repro.service.errors import (
     RestartBudgetError,
     WorkerCrashError,
     WorkerHangError,
 )
+
+_TRACED_MARKER = "__hslb_traced__"
+
+
+def _traced_call(context: dict, fn: Callable, args: tuple) -> dict:
+    """Worker-side wrapper: run ``fn(*args)`` under a shipped trace context.
+
+    Returns a marker envelope carrying the task's value plus the spans the
+    worker recorded, for :meth:`SupervisedWorkerPool.result` to unwrap and
+    graft.  Module-level so it pickles into pool processes.
+    """
+    value, spans = run_traced_child(context, lambda: fn(*args))
+    return {_TRACED_MARKER: True, "value": value, "spans": spans}
 
 
 class InlineExecutor:
@@ -173,7 +187,18 @@ class SupervisedWorkerPool:
         return sum(1 for s in self._slots if not s.retired)
 
     def submit(self, fn: Callable, *args) -> Dispatch:
-        """Run ``fn(*args)`` on the least-loaded healthy worker."""
+        """Run ``fn(*args)`` on the least-loaded healthy worker.
+
+        With tracing enabled, the call is transparently wrapped so the
+        worker records its spans under the caller's current trace context
+        and ships them back; hedged re-dispatches (``Dispatch.fn``/
+        ``args``) re-use the wrapped form, so duplicates trace too.
+        """
+        tracer = get_tracer()
+        if tracer.enabled:
+            context = tracer.current_context()
+            if context is not None:
+                fn, args = _traced_call, (context.to_dict(), fn, args)
         slot = self._pick()
         slot.health.dispatched += 1
         slot.inflight += 1
@@ -228,6 +253,12 @@ class SupervisedWorkerPool:
         slot.inflight -= 1
         slot.health.completed += 1
         slot.health.consecutive_failures = 0
+        if isinstance(value, dict) and value.get(_TRACED_MARKER):
+            tracer = get_tracer()
+            spans = value.get("spans")
+            if spans and tracer.enabled:
+                tracer.attach_remote(spans, anchor=tracer.current())
+            value = value["value"]
         return value
 
     def forget(self, dispatch: Dispatch) -> None:

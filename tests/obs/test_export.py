@@ -1,6 +1,7 @@
 """Tests for the exporters: JSONL traces, Prometheus text, ASCII renderings."""
 
 from repro.obs.export import (
+    assemble_trace,
     parse_prometheus,
     parse_trace_jsonl,
     prometheus_exposition,
@@ -42,6 +43,72 @@ def test_prometheus_escapes_label_values():
 def test_empty_registry_exposes_empty_text():
     assert prometheus_exposition(MetricsRegistry()) == ""
     assert parse_prometheus("") == {}
+
+
+def test_labeled_histogram_buckets_round_trip():
+    r = MetricsRegistry()
+    h = r.histogram("lat_seconds", "latency", buckets=(0.01, 0.1, 1.0))
+    for v, priority in ((0.005, "interactive"), (0.5, "batch"), (5.0, "batch")):
+        h.observe(v, priority=priority)
+    text = prometheus_exposition(r)
+    parsed = parse_prometheus(text)
+    assert parsed == registry_samples(r)
+    batch_inf = (("priority", "batch"), ("le", "+Inf"))
+    assert parsed["lat_seconds_bucket"][batch_inf] == 2.0
+
+
+def test_exemplar_trailers_expose_and_parse():
+    r = MetricsRegistry()
+    h = r.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+    h.observe(0.05, exemplar="1a2b-3c")
+    h.observe(7.0, exemplar="dd-ee")
+    text = prometheus_exposition(r)
+    # OpenMetrics-style trailers on the bucket lines, latest exemplar wins.
+    assert '# {trace_id="1a2b-3c"} 0.05' in text
+    assert '# {trace_id="dd-ee"} 7' in text
+    # The parser ignores trailers: samples match the un-exemplared view.
+    assert parse_prometheus(text) == registry_samples(r)
+
+
+def test_exemplars_reset_with_the_registry():
+    r = MetricsRegistry()
+    h = r.histogram("lat_seconds", "latency", buckets=(0.1,))
+    h.observe(0.05, exemplar="gone")
+    r.reset()
+    h.observe(0.05)
+    assert "gone" not in prometheus_exposition(r)
+
+
+def test_assemble_trace_rebuilds_nested_trees(tracer):
+    with span("req-a"):
+        with span("solve"):
+            pass
+    with span("req-b"):
+        pass
+    records = parse_trace_jsonl(trace_to_jsonl(tracer))
+    a_id = records[0]["trace_id"]
+    roots = assemble_trace(records)
+    assert [r.name for r in roots] == ["req-a", "req-b"]
+    assert [c.name for c in roots[0].children] == ["solve"]
+    assert roots[0].children[0].parent_id == roots[0].span_id
+    only_a = assemble_trace(records, a_id)
+    assert [r.name for r in only_a] == ["req-a"]
+    assert {s.name for s, _ in only_a[0].walk()} == {"req-a", "solve"}
+
+
+def test_assemble_trace_promotes_orphans_to_roots():
+    records = [
+        {
+            "name": "stray",
+            "trace_id": "t",
+            "span_id": "s-2",
+            "parent_id": "s-missing",
+            "start": 0.0,
+            "duration": 0.1,
+        }
+    ]
+    (root,) = assemble_trace(records)
+    assert root.name == "stray" and root.duration == 0.1
 
 
 def test_trace_jsonl_round_trip(tracer):

@@ -1,0 +1,86 @@
+"""The in-loop /metrics + /healthz endpoint, exercised over real sockets."""
+
+import asyncio
+import json
+
+from repro.obs.export import parse_prometheus
+from repro.obs.http import MetricsServer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLOTracker
+
+
+async def _get(port: int, path: str, raw: str | None = None) -> tuple[int, str]:
+    """Minimal HTTP/1.0 client: (status, body) for one request."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    request = raw if raw is not None else f"GET {path} HTTP/1.0\r\n\r\n"
+    writer.write(request.encode())
+    await writer.drain()
+    response = (await reader.read()).decode()
+    writer.close()
+    head, _, body = response.partition("\r\n\r\n")
+    return int(head.split()[1]), body
+
+
+def test_metrics_endpoint_serves_the_registry():
+    registry = MetricsRegistry()
+    registry.counter("demo_total", "demo").inc(3, kind="x")
+
+    async def main():
+        async with MetricsServer(registry) as server:
+            assert server.port != 0
+            assert server.url.endswith(str(server.port))
+            return await _get(server.port, "/metrics")
+
+    status, body = asyncio.run(main())
+    assert status == 200
+    assert parse_prometheus(body)["demo_total"][(("kind", "x"),)] == 3.0
+
+
+def test_metrics_endpoint_refreshes_slo_gauges():
+    registry = MetricsRegistry()
+    slo = SLOTracker()
+    slo.record("interactive", 0.01)
+
+    async def main():
+        async with MetricsServer(registry, slo=slo) as server:
+            return await _get(server.port, "/metrics")
+
+    _, body = asyncio.run(main())
+    samples = parse_prometheus(body)
+    assert samples["slo_window_requests"][(("priority", "interactive"),)] == 1.0
+
+
+def test_healthz_merges_the_health_callback():
+    async def main():
+        server = MetricsServer(
+            MetricsRegistry(), health=lambda: {"served": 7, "shards": 2}
+        )
+        async with server:
+            return await _get(server.port, "/healthz")
+
+    status, body = asyncio.run(main())
+    assert status == 200
+    assert json.loads(body) == {"status": "ok", "served": 7, "shards": 2}
+
+
+def test_unknown_path_and_bad_method():
+    async def main():
+        async with MetricsServer(MetricsRegistry()) as server:
+            missing = await _get(server.port, "/nope")
+            posted = await _get(
+                server.port, "", raw="POST /metrics HTTP/1.0\r\n\r\n"
+            )
+            return missing, posted
+
+    (missing_status, _), (posted_status, _) = asyncio.run(main())
+    assert missing_status == 404
+    assert posted_status == 405
+
+
+def test_query_strings_are_ignored():
+    async def main():
+        async with MetricsServer(MetricsRegistry()) as server:
+            return await _get(server.port, "/healthz?probe=1")
+
+    status, body = asyncio.run(main())
+    assert status == 200 and json.loads(body)["status"] == "ok"

@@ -201,6 +201,25 @@ def test_process_mode_solves_and_chains_warm_starts():
     assert snap["warm_solves"] >= 1
 
 
+def test_entering_the_tier_preforks_process_workers():
+    """``async with tier`` must fork every pool worker up front.
+
+    A lazily-forked worker inherits whatever locks other threads hold at
+    first-submit time — in particular a transport thread parked in a
+    blocking ``sys.stdin.readline`` holds the buffered-reader lock, and
+    the child then deadlocks closing stdin in its multiprocessing
+    bootstrap.  Forking before any transport thread exists is the guard.
+    """
+    tier = AsyncServingTier(TierConfig(shards=2, worker_mode="process"))
+
+    async def main():
+        async with tier:
+            return [len(s.process._processes or ()) for s in tier.shards.values()]
+
+    workers_per_shard = asyncio.run(main())
+    assert workers_per_shard and all(n >= 1 for n in workers_per_shard)
+
+
 # -- the JSONL transport ------------------------------------------------------
 
 

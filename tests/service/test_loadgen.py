@@ -122,6 +122,28 @@ def test_replay_accounts_for_every_event():
     assert snap["p50"] <= snap["p99"] <= snap["p999"]
 
 
+def test_replay_reports_per_priority_percentiles():
+    spec = TraceSpec(n_requests=60, seed=11, n_families=2, budgets=(48, 64))
+    trace = generate_trace(spec)
+    tier = AsyncServingTier(
+        TierConfig(
+            shards=2,
+            worker_mode="thread",
+            admission=AdmissionPolicy(max_pending=2 * len(trace)),
+        )
+    )
+    snap = replay(tier, trace, speed=0.0).snapshot()
+    per = snap["per_priority"]
+    # Every class the trace mixed in answered at least once and reports
+    # its own quantile ladder; counts reconcile with the overall total.
+    assert set(per) == {"interactive", "batch", "background"}
+    assert sum(stats["count"] for stats in per.values()) == snap["answered"]
+    for stats in per.values():
+        assert stats["count"] > 0
+        assert 0.0 <= stats["p50"] <= stats["p99"] <= stats["p999"]
+        assert stats["mean_latency"] >= 0.0
+
+
 def test_replay_sheds_under_a_tiny_admission_budget():
     spec = TraceSpec(n_requests=40, seed=11, n_families=2, budgets=(48, 64))
     trace = generate_trace(spec)

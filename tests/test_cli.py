@@ -447,3 +447,70 @@ def test_dynlb_determinism_across_runs(capsys):
     first = capsys.readouterr().out
     assert main(argv) == 0
     assert capsys.readouterr().out == first
+
+
+def _trace_dump(tmp_path):
+    """A two-request JSONL trace dump; returns (path, first trace_id)."""
+    from repro.obs.trace import get_tracer, span
+
+    tracer = get_tracer()
+    tracer.reset()
+    tracer.enable()
+    try:
+        with span("tier.submit"):
+            with span("shard.solve"):
+                pass
+        with span("other.request"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(str(path))
+        trace_id = tracer.roots[0].trace_id
+    finally:
+        tracer.disable()
+        tracer.reset()
+    return path, trace_id
+
+
+def test_trace_by_id_renders_one_tree(tmp_path, capsys):
+    path, trace_id = _trace_dump(tmp_path)
+    assert main(["trace", "--id", trace_id, "--input", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert f"trace {trace_id} (2 spans)" in out
+    assert "tier.submit" in out and "shard.solve" in out
+    assert "other.request" not in out  # foreign trees are filtered out
+
+
+def test_trace_by_id_requires_input(capsys):
+    assert main(["trace", "--id", "abc"]) == 2
+    assert "--input" in capsys.readouterr().err
+
+
+def test_trace_by_unknown_id_is_a_clean_error(tmp_path, capsys):
+    path, _ = _trace_dump(tmp_path)
+    assert main(["trace", "--id", "no-such", "--input", str(path)]) == 1
+    assert "no spans" in capsys.readouterr().err
+
+
+def test_top_paints_from_a_file(tmp_path, capsys):
+    exposition = tmp_path / "metrics.txt"
+    exposition.write_text(
+        "# TYPE tier_requests_total counter\ntier_requests_total 5\n"
+    )
+    code = main(["top", "--input", str(exposition), "--iterations", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hslb top" in out
+    assert "tier_requests_total" in out
+
+
+def test_top_requires_a_source(capsys):
+    assert main(["top"]) == 2
+    assert "--url or --input" in capsys.readouterr().err
+
+
+def test_top_rejects_non_prometheus_input_cleanly(tmp_path, capsys):
+    """Feeding a trace JSONL (or any non-exposition file) is user error:
+    one line on stderr and exit 2, never a traceback."""
+    path, _ = _trace_dump(tmp_path)
+    assert main(["top", "--input", str(path), "--iterations", "1"]) == 2
+    assert "not Prometheus exposition text" in capsys.readouterr().err
